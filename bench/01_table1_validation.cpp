@@ -1,0 +1,38 @@
+/// \file 01_table1_validation.cpp
+/// Table I: simulated single-core cycles vs (proxy) hardware cycles on the
+/// ThunderX2 baseline. Paper shape: STREAM and MiniBude validate closely
+/// (~6% / ~13%), TeaLeaf and MiniSweep diverge by tens of percent (~37%),
+/// with TeaLeaf over-simulated (sim > hw) and MiniSweep under-simulated.
+
+#include <cstdio>
+
+#include "analysis/validation.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace adse;
+  std::printf("== Table I: simulated vs hardware cycles (ThunderX2) ==\n\n");
+  const auto rows = analysis::build_table1();
+  std::printf("%s\n", analysis::render_table1(rows).c_str());
+
+  const auto& stream = rows[0];
+  const auto& bude = rows[1];
+  const auto& tealeaf = rows[2];
+  const auto& sweep = rows[3];
+
+  int failures = 0;
+  failures += bench::shape_check(
+      stream.percent_difference < 20.0 && bude.percent_difference < 20.0,
+      "STREAM and MiniBude validate closely (< 20% difference)");
+  failures += bench::shape_check(
+      tealeaf.percent_difference > stream.percent_difference &&
+          sweep.percent_difference > stream.percent_difference,
+      "TeaLeaf and MiniSweep diverge more than STREAM");
+  failures += bench::shape_check(
+      tealeaf.simulated_cycles > tealeaf.hardware_cycles,
+      "TeaLeaf is over-simulated (sim > hw), as in the paper");
+  failures += bench::shape_check(
+      sweep.simulated_cycles < sweep.hardware_cycles,
+      "MiniSweep is under-simulated (sim < hw), as in the paper");
+  return failures;
+}

@@ -1,0 +1,56 @@
+/// \file 06_fig5_importance_vl2048.cpp
+/// Fig. 5: the same importance analysis with vector length pinned to 2048
+/// bits. Paper shape: MiniBude becomes increasingly constrained by L1 cache
+/// speed, while the ROB and FP/SVE registers are relieved of pressure
+/// (fewer in-flight µops move the same data).
+
+#include <cstdio>
+
+#include "analysis/surrogate_eval.hpp"
+#include "bench/bench_util.hpp"
+#include "common/env.hpp"
+
+int main() {
+  using namespace adse;
+  std::printf("== Fig. 5: top-10 importances, VL pinned to 2048 ==\n\n");
+  const auto data128 = bench::pinned_campaign(128);
+  const auto data2048 = bench::pinned_campaign(2048);
+
+  std::vector<analysis::SurrogateEvaluation> evals128, evals2048;
+  for (kernels::App app : kernels::all_apps()) {
+    evals128.push_back(analysis::evaluate_surrogate(app, data128.dataset(app),
+                                                    campaign_seed()));
+    evals2048.push_back(analysis::evaluate_surrogate(app, data2048.dataset(app),
+                                                     campaign_seed()));
+  }
+  std::printf("%s", analysis::render_importance(evals2048).c_str());
+
+  auto pct = [](const analysis::SurrogateEvaluation& eval, config::ParamId id) {
+    return eval.importance.percent[static_cast<std::size_t>(id)];
+  };
+
+  // MiniBude: ROB + FP register pressure relieved at VL=2048 vs VL=128.
+  const double bude_pressure_128 =
+      pct(evals128[1], config::ParamId::kRobSize) +
+      pct(evals128[1], config::ParamId::kFpRegisters);
+  const double bude_pressure_2048 =
+      pct(evals2048[1], config::ParamId::kRobSize) +
+      pct(evals2048[1], config::ParamId::kFpRegisters);
+  std::printf("MiniBude ROB+FPreg importance: %.1f%% at VL=128 vs %.1f%% at "
+              "VL=2048\n\n",
+              bude_pressure_128, bude_pressure_2048);
+
+  int failures = 0;
+  failures += bench::shape_check(
+      bude_pressure_2048 < bude_pressure_128,
+      "long vectors relieve MiniBude's ROB/FP-register pressure");
+  failures += bench::shape_check(
+      pct(evals2048[1], config::ParamId::kL1Clock) +
+              pct(evals2048[1], config::ParamId::kL1Latency) +
+              pct(evals2048[1], config::ParamId::kLoadBandwidth) >
+          pct(evals128[1], config::ParamId::kL1Clock) +
+              pct(evals128[1], config::ParamId::kL1Latency) +
+              pct(evals128[1], config::ParamId::kLoadBandwidth),
+      "MiniBude becomes more L1-speed constrained at VL=2048");
+  return failures;
+}

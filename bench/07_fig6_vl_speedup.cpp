@@ -1,0 +1,38 @@
+/// \file 07_fig6_vl_speedup.cpp
+/// Fig. 6: mean speedup of varying vector length relative to VL=128, over
+/// dataset rows with Load-Bandwidth >= 256 (the paper's fairness filter).
+/// Paper shape: 7–9x at VL=2048 for the vectorised codes (larger for
+/// STREAM), negligible for TeaLeaf/MiniSweep.
+
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace adse;
+  std::printf("== Fig. 6: mean speedup vs vector length (rel. VL=128, "
+              "Load-BW >= 256) ==\n\n");
+  const auto data = bench::main_campaign();
+  const auto curves = analysis::build_fig6(data.table);
+  std::printf("%s\n",
+              analysis::render_speedup(curves, "vector_length").c_str());
+
+  const double stream_2048 = curves[0].mean_speedup[4];
+  const double bude_2048 = curves[1].mean_speedup[4];
+  const double tealeaf_2048 = curves[2].mean_speedup[4];
+  const double sweep_2048 = curves[3].mean_speedup[4];
+
+  int failures = 0;
+  failures += bench::shape_check(
+      stream_2048 > 3.0 && bude_2048 > 3.0,
+      "large VL speedup for the vectorised codes (paper: 7-9x; ours > 3x)");
+  failures += bench::shape_check(
+      tealeaf_2048 < 1.5 && sweep_2048 < 1.5,
+      "negligible VL impact on the poorly vectorised codes");
+  failures += bench::shape_check(
+      curves[0].mean_speedup[1] < stream_2048 &&
+          curves[1].mean_speedup[1] < bude_2048,
+      "speedup grows monotonically-ish with VL for vectorised codes");
+  return failures;
+}

@@ -1,0 +1,36 @@
+/// \file 09_fig8_fpreg_speedup.cpp
+/// Fig. 8: mean speedup of varying the FP/SVE physical register count
+/// relative to the minimum of 38. Paper shape: counts below ~144 bottleneck
+/// register rename; above that the bottleneck shifts to the backend and the
+/// curve flattens.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/speedup.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace adse;
+  std::printf("== Fig. 8: mean speedup vs FP/SVE registers (rel. 38) ==\n\n");
+  const auto data = bench::main_campaign();
+  const auto curves = analysis::build_fig8(data.table);
+  std::printf("%s\n",
+              analysis::render_speedup(curves, "fp_phys_regs").c_str());
+
+  // Bin layout: {38,72,112,144,192,256,384,513} -> index 3 is [144,192).
+  int failures = 0;
+  bool rises = true;
+  bool flattens = true;
+  for (const auto& curve : curves) {
+    const auto& s = curve.mean_speedup;
+    if (std::isnan(s[3]) || std::isnan(s.back())) continue;
+    rises = rises && s[3] > 1.2;                 // starved -> knee is a real gain
+    flattens = flattens && (s.back() / s[3] < 1.25);  // beyond knee: minimal
+  }
+  failures += bench::shape_check(
+      rises, "fewer than ~144 FP/SVE registers bottleneck register rename");
+  failures += bench::shape_check(
+      flattens, "beyond ~144 registers the speedup flattens for every app");
+  return failures;
+}

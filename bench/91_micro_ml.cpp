@@ -1,0 +1,91 @@
+/// \file 91_micro_ml.cpp
+/// google-benchmark microbenchmarks of the surrogate-model substrate: CART
+/// fitting, prediction, and permutation importance. The paper reports
+/// training "takes less than 1 minute on a standard laptop CPU" at 180k
+/// rows; these benches extrapolate our implementation's scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "config/param_space.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/importance.hpp"
+
+namespace {
+
+using namespace adse;
+
+ml::Dataset synthetic_campaign(std::size_t rows, std::uint64_t seed) {
+  const config::ParameterSpace space;
+  Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < config::kNumParams; ++i) {
+    d.feature_names.push_back(config::param_name(static_cast<config::ParamId>(i)));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto cfg = space.sample(rng);
+    const auto f = config::feature_vector(cfg);
+    // A cycles-like nonlinear response.
+    const double y = 1e7 / cfg.core.vector_length_bits +
+                     4e5 / cfg.core.rob_size +
+                     cfg.mem.ram_latency_ns * 100.0 +
+                     (cfg.mem.l2_size_kib < 256 ? 2e5 : 0.0);
+    d.add_row({f.begin(), f.end()}, y);
+  }
+  return d;
+}
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset d = synthetic_campaign(rows, 1);
+  for (auto _ : state) {
+    ml::DecisionTreeRegressor tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_TreeFit)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeFitMae(benchmark::State& state) {
+  const ml::Dataset d = synthetic_campaign(1000, 2);
+  ml::TreeOptions opts;
+  opts.criterion = ml::Criterion::kMae;
+  for (auto _ : state) {
+    ml::DecisionTreeRegressor tree(opts);
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_TreeFitMae)->Unit(benchmark::kMillisecond);
+
+void BM_TreePredict(benchmark::State& state) {
+  const ml::Dataset train = synthetic_campaign(4000, 3);
+  const ml::Dataset test = synthetic_campaign(1000, 4);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict_all(test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_PermutationImportance(benchmark::State& state) {
+  const ml::Dataset train = synthetic_campaign(2000, 5);
+  const ml::Dataset test = synthetic_campaign(400, 6);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(train);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(
+        ml::permutation_importance(tree, test, rng).percent);
+  }
+}
+BENCHMARK(BM_PermutationImportance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

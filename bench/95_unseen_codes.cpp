@@ -1,0 +1,84 @@
+/// \file 95_unseen_codes.cpp
+/// §VII's transfer limitation, measured: "This approach is still limited to
+/// applications the model has been trained on, and cannot yet adapt to
+/// unseen codes". We run leave-one-app-out: train a unified surrogate
+/// (features + app-id) on three applications and predict the held-out
+/// fourth. The collapse relative to in-distribution accuracy quantifies the
+/// limitation the paper states.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/env.hpp"
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+
+namespace {
+
+using namespace adse;
+
+/// Appends a dataset with an app-id feature column.
+void append(ml::Dataset& out, const ml::Dataset& in, kernels::App app) {
+  for (std::size_t r = 0; r < in.num_rows(); ++r) {
+    auto row = in.x[r];
+    row.push_back(static_cast<double>(app));
+    out.add_row(std::move(row), in.y[r]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Leave-one-app-out transfer (the §VII limitation) ==\n\n");
+  const auto data = bench::main_campaign();
+
+  TextTable table({"held-out app", "in-distribution R^2", "transfer R^2",
+                   "transfer mean acc."});
+  double worst_transfer_r2 = 1e9;
+  double best_in_dist_r2 = -1e9;
+
+  for (kernels::App held_out : kernels::all_apps()) {
+    // Unified training set from the other three apps.
+    ml::Dataset train;
+    train.feature_names = campaign::feature_names();
+    train.feature_names.push_back("app_id");
+    for (kernels::App app : kernels::all_apps()) {
+      if (app != held_out) append(train, data.dataset(app), app);
+    }
+    ml::Dataset test;
+    test.feature_names = train.feature_names;
+    append(test, data.dataset(held_out), held_out);
+
+    ml::DecisionTreeRegressor model;
+    model.fit(train);
+    const auto transfer_pred = model.predict_all(test);
+    const double transfer_r2 = ml::r2(test.y, transfer_pred);
+    worst_transfer_r2 = std::min(worst_transfer_r2, transfer_r2);
+
+    // In-distribution reference: an 80/20 split within the held-out app.
+    Rng rng(campaign_seed());
+    auto split = ml::train_test_split(data.dataset(held_out), 0.8, rng);
+    ml::DecisionTreeRegressor in_dist;
+    in_dist.fit(split.train);
+    const double in_r2 = ml::r2(split.test.y, in_dist.predict_all(split.test));
+    best_in_dist_r2 = std::max(best_in_dist_r2, in_r2);
+
+    table.add_row({kernels::app_name(held_out), format_fixed(in_r2, 3),
+                   format_fixed(transfer_r2, 3),
+                   format_fixed(ml::mean_accuracy_percent(test.y, transfer_pred),
+                                1) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  int failures = 0;
+  failures += bench::shape_check(
+      worst_transfer_r2 < 0.0,
+      "per-app surrogates do not transfer to unseen codes (paper §VII: the "
+      "model 'cannot yet adapt to unseen codes')");
+  failures += bench::shape_check(
+      best_in_dist_r2 > worst_transfer_r2,
+      "in-distribution prediction beats cross-application transfer");
+  return failures;
+}

@@ -1,0 +1,32 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared plumbing for the per-table/per-figure harness binaries: cached
+/// campaign loading and the "[shape-check]" reporting convention. Absolute
+/// cycle counts cannot match the paper's testbed, so every bench asserts the
+/// *shape* of its result (who wins, where the knee is, orderings) and prints
+/// PASS/FAIL lines that EXPERIMENTS.md records.
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace adse::bench {
+
+/// Loads (or builds + caches) the main campaign.
+inline campaign::CampaignResult main_campaign() {
+  return campaign::load_or_run(campaign::main_campaign_spec());
+}
+
+/// Loads (or builds + caches) a VL-pinned campaign (Figs. 4/5).
+inline campaign::CampaignResult pinned_campaign(int vl) {
+  return campaign::load_or_run(campaign::constrained_campaign_spec(vl));
+}
+
+/// Prints a shape-check verdict; returns 0/1 for exit-code accumulation.
+inline int shape_check(bool ok, const std::string& claim) {
+  std::printf("[shape-check] %s: %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace adse::bench

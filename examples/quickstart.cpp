@@ -1,0 +1,67 @@
+/// \file quickstart.cpp
+/// Minimal tour of the public API: build a CPU configuration, run the four
+/// HPC workloads through the simulator, and print SimEng-style statistics.
+///
+///   ./examples/quickstart            # ThunderX2 baseline
+///   ./examples/quickstart a64fx      # A64FX-flavoured configuration
+
+#include <cstdio>
+#include <string>
+
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "config/baselines.hpp"
+#include "config/serialize.hpp"
+#include "kernels/workloads.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats_report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adse;
+
+  config::CpuConfig cpu = config::thunderx2_baseline();
+  if (argc > 1) {
+    const std::string which = argv[1];
+    if (which == "a64fx") {
+      cpu = config::a64fx_like();
+    } else if (which == "big") {
+      cpu = config::big_future();
+    } else if (which == "minimal") {
+      cpu = config::minimal_viable();
+    } else {
+      std::fprintf(stderr, "unknown config '%s' (try a64fx|big|minimal)\n",
+                   which.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("Configuration (SimEng-style YAML):\n%s\n",
+              config::to_yaml(cpu).c_str());
+
+  TextTable table({"Application", "µops", "Cycles", "IPC", "SVE %", "L1 hit %",
+                   "RAM reqs", "Sim time"});
+  for (kernels::App app : kernels::all_apps()) {
+    Stopwatch watch;
+    const sim::RunResult result = sim::simulate_app(cpu, app);
+    table.add_row({
+        kernels::app_name(app),
+        format_grouped(static_cast<long long>(result.core.retired)),
+        format_grouped(static_cast<long long>(result.core.cycles)),
+        format_fixed(result.core.ipc(), 2),
+        format_fixed(result.core.sve_fraction() * 100.0, 1),
+        format_fixed(result.mem.l1_hit_rate() * 100.0, 1),
+        format_grouped(static_cast<long long>(result.mem.ram_requests)),
+        format_fixed(watch.millis(), 1) + " ms",
+    });
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (argc > 2 && std::string(argv[2]) == "--stats") {
+    // Full SimEng-style statistics block for the last app.
+    const sim::RunResult detail =
+        sim::simulate_app(cpu, kernels::App::kMiniSweep);
+    std::printf("%s\n", sim::render_stats(detail).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+/// \file speedup.hpp
+/// Figs. 6–8: "refer back to our original dataset" — binned mean-speedup
+/// curves computed directly from the campaign table, not the model. Speedup
+/// of a bin is mean_cycles(baseline bin) / mean_cycles(bin).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "config/cpu_config.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::analysis {
+
+/// An optional row filter: keep rows where `feature >= min_value` (Fig. 6
+/// keeps only Load-Bandwidth > 256 so VL=2048-capable rows are compared
+/// fairly).
+struct RowFilter {
+  config::ParamId feature;
+  double min_value = 0.0;
+};
+
+struct SpeedupCurve {
+  kernels::App app;
+  std::vector<std::string> bin_labels;
+  std::vector<double> mean_cycles;   ///< per bin (NaN if bin empty)
+  std::vector<double> mean_speedup;  ///< baseline bin mean / bin mean
+  std::vector<std::size_t> bin_rows;
+};
+
+/// Bins the campaign table rows by `feature` using half-open edges
+/// [edges[i], edges[i+1]); the first bin is the speedup baseline. Rows
+/// failing `filter` are dropped.
+std::vector<SpeedupCurve> binned_speedup(
+    const CsvTable& campaign_table, config::ParamId feature,
+    const std::vector<double>& edges,
+    const std::optional<RowFilter>& filter = std::nullopt);
+
+std::string render_speedup(const std::vector<SpeedupCurve>& curves,
+                           const std::string& x_name);
+
+// The paper's exact figure protocols:
+std::vector<SpeedupCurve> build_fig6(const CsvTable& table);  ///< VL, BW>256
+std::vector<SpeedupCurve> build_fig7(const CsvTable& table);  ///< ROB size
+std::vector<SpeedupCurve> build_fig8(const CsvTable& table);  ///< FP/SVE regs
+
+}  // namespace adse::analysis

@@ -1,0 +1,78 @@
+#include "analysis/surrogate_eval.hpp"
+
+#include "common/require.hpp"
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "ml/metrics.hpp"
+
+namespace adse::analysis {
+
+SurrogateEvaluation evaluate_surrogate(kernels::App app,
+                                       const ml::Dataset& dataset,
+                                       std::uint64_t seed,
+                                       const std::vector<double>& tolerances) {
+  ADSE_REQUIRE_MSG(dataset.num_rows() >= 20,
+                   "dataset too small to evaluate: " << dataset.num_rows());
+  SurrogateEvaluation eval;
+  eval.app = app;
+  eval.tolerances = tolerances;
+
+  Rng rng(seed ^ (0xabcdULL + static_cast<std::uint64_t>(app)));
+  auto split = ml::train_test_split(dataset, 0.8, rng);
+  eval.train = std::move(split.train);
+  eval.test = std::move(split.test);
+
+  eval.model = ml::DecisionTreeRegressor(ml::TreeOptions{});  // paper defaults
+  eval.model.fit(eval.train);
+
+  const std::vector<double> pred = eval.model.predict_all(eval.test);
+  eval.fraction_within =
+      ml::within_tolerance_curve(eval.test.y, pred, tolerances);
+  eval.mean_accuracy_percent = ml::mean_accuracy_percent(eval.test.y, pred);
+  eval.r2 = ml::r2(eval.test.y, pred);
+
+  eval.importance = ml::permutation_importance(eval.model, eval.test, rng);
+  eval.ranking = ml::rank_features(eval.importance);
+  return eval;
+}
+
+std::string render_accuracy(const std::vector<SurrogateEvaluation>& evals) {
+  ADSE_REQUIRE(!evals.empty());
+  std::vector<std::string> header{"Application"};
+  for (double tol : evals.front().tolerances) {
+    header.push_back("within " + format_fixed(tol * 100.0, 0) + "%");
+  }
+  header.push_back("mean acc.");
+  header.push_back("R^2");
+  TextTable table(std::move(header));
+  for (const auto& eval : evals) {
+    std::vector<std::string> row{kernels::app_name(eval.app)};
+    for (double f : eval.fraction_within) {
+      row.push_back(format_fixed(f * 100.0, 1) + "%");
+    }
+    row.push_back(format_fixed(eval.mean_accuracy_percent, 2) + "%");
+    row.push_back(format_fixed(eval.r2, 3));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_importance(const std::vector<SurrogateEvaluation>& evals,
+                              std::size_t top_n) {
+  ADSE_REQUIRE(!evals.empty());
+  std::string out;
+  for (const auto& eval : evals) {
+    TextTable table({kernels::app_name(eval.app) + " — feature",
+                     "importance %"});
+    const auto& names = eval.train.feature_names;
+    for (std::size_t i = 0; i < std::min(top_n, eval.ranking.size()); ++i) {
+      const std::size_t f = eval.ranking[i];
+      table.add_row({names[f], format_fixed(eval.importance.percent[f], 2)});
+    }
+    out += table.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace adse::analysis

@@ -1,0 +1,50 @@
+#pragma once
+/// \file surrogate_eval.hpp
+/// Figs. 2–5: per-application surrogate training, confidence-interval
+/// accuracy (Fig. 2) and permutation-importance rankings (Fig. 3, and the
+/// VL-pinned variants of Figs. 4/5).
+
+#include <string>
+#include <vector>
+
+#include "kernels/workloads.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/importance.hpp"
+
+namespace adse::analysis {
+
+/// One trained per-app surrogate plus its evaluation artefacts.
+struct SurrogateEvaluation {
+  kernels::App app;
+  ml::DecisionTreeRegressor model;
+  ml::Dataset train;
+  ml::Dataset test;
+
+  // Fig. 2 series.
+  std::vector<double> tolerances;       ///< e.g. {.01,.02,.05,.10,.25,.50}
+  std::vector<double> fraction_within;  ///< test-set fraction per tolerance
+  double mean_accuracy_percent = 0.0;   ///< the paper's 93.38% metric
+  double r2 = 0.0;
+
+  // Figs. 3–5.
+  ml::ImportanceResult importance;      ///< on the held-out split
+  std::vector<std::size_t> ranking;     ///< features by descending percent
+};
+
+/// Trains the paper's model (§V-C: unconstrained CART, MSE, 80/20 split) on
+/// one app's dataset and evaluates it. Deterministic in `seed`.
+SurrogateEvaluation evaluate_surrogate(
+    kernels::App app, const ml::Dataset& dataset, std::uint64_t seed,
+    const std::vector<double>& tolerances = {0.01, 0.02, 0.05, 0.10, 0.25,
+                                             0.50});
+
+/// Renders the Fig. 2 accuracy table for a set of evaluations.
+std::string render_accuracy(const std::vector<SurrogateEvaluation>& evals);
+
+/// Renders a Fig. 3/4/5-style table: the top-`top_n` features per app with
+/// their importance percentages.
+std::string render_importance(const std::vector<SurrogateEvaluation>& evals,
+                              std::size_t top_n = 10);
+
+}  // namespace adse::analysis

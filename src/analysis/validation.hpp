@@ -1,0 +1,29 @@
+#pragma once
+/// \file validation.hpp
+/// Table I: simulated single-core cycles compared to "hardware" cycles on
+/// the ThunderX2 baseline for the four applications. In this reproduction
+/// the hardware column comes from the high-fidelity proxy model
+/// (sim/hardware_proxy.hpp); see DESIGN.md for the substitution argument.
+
+#include <string>
+#include <vector>
+
+#include "kernels/workloads.hpp"
+
+namespace adse::analysis {
+
+struct ValidationRow {
+  kernels::App app;
+  std::uint64_t simulated_cycles = 0;
+  std::uint64_t hardware_cycles = 0;
+  /// |sim - hw| / hw, as a percentage (the paper's "% Difference").
+  double percent_difference = 0.0;
+};
+
+/// Runs both models on the ThunderX2 baseline for all four apps.
+std::vector<ValidationRow> build_table1();
+
+/// Renders the rows in the paper's Table-I layout.
+std::string render_table1(const std::vector<ValidationRow>& rows);
+
+}  // namespace adse::analysis

@@ -1,0 +1,49 @@
+#include "analysis/vectorisation.hpp"
+
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "config/baselines.hpp"
+#include "sim/simulation.hpp"
+
+namespace adse::analysis {
+
+std::vector<VectorisationSeries> build_fig1(
+    const std::vector<int>& vector_lengths) {
+  std::vector<VectorisationSeries> all;
+  for (kernels::App app : kernels::all_apps()) {
+    VectorisationSeries series;
+    series.app = app;
+    for (int vl : vector_lengths) {
+      config::CpuConfig cpu = config::thunderx2_baseline();
+      cpu.core.vector_length_bits = vl;
+      // Keep the design functional at wide vectors (§V-A constraint).
+      while (cpu.core.load_bandwidth_bytes < vl / 8) {
+        cpu.core.load_bandwidth_bytes *= 2;
+      }
+      while (cpu.core.store_bandwidth_bytes < vl / 8) {
+        cpu.core.store_bandwidth_bytes *= 2;
+      }
+      const sim::RunResult result = sim::simulate_app(cpu, app);
+      series.vector_lengths.push_back(vl);
+      series.sve_percent.push_back(result.core.sve_fraction() * 100.0);
+    }
+    all.push_back(std::move(series));
+  }
+  return all;
+}
+
+std::string render_fig1(const std::vector<VectorisationSeries>& series) {
+  std::vector<std::string> header{"Application"};
+  for (int vl : series.front().vector_lengths) {
+    header.push_back("VL " + std::to_string(vl));
+  }
+  TextTable table(std::move(header));
+  for (const auto& s : series) {
+    std::vector<std::string> row{kernels::app_name(s.app)};
+    for (double pct : s.sve_percent) row.push_back(format_fixed(pct, 1) + "%");
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace adse::analysis

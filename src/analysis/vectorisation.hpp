@@ -1,0 +1,27 @@
+#pragma once
+/// \file vectorisation.hpp
+/// Fig. 1: percentage of retired instructions that are SVE instructions,
+/// per application, across vector lengths (the measurement that justifies
+/// excluding TeaLeaf/MiniSweep from the vector-length analysis).
+
+#include <string>
+#include <vector>
+
+#include "kernels/workloads.hpp"
+
+namespace adse::analysis {
+
+struct VectorisationSeries {
+  kernels::App app;
+  std::vector<int> vector_lengths;
+  std::vector<double> sve_percent;  ///< same length as vector_lengths
+};
+
+/// Runs every app at every VL on the (SVE-widened) baseline and measures the
+/// retired-SVE fraction, exactly as §IV-A defines it.
+std::vector<VectorisationSeries> build_fig1(
+    const std::vector<int>& vector_lengths = {128, 256, 512, 1024, 2048});
+
+std::string render_fig1(const std::vector<VectorisationSeries>& series);
+
+}  // namespace adse::analysis

@@ -1,0 +1,184 @@
+#include "campaign/campaign.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "common/require.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "config/param_space.hpp"
+#include "sim/simulation.hpp"
+
+namespace adse::campaign {
+
+namespace {
+
+/// Traces depend only on (app, vector length); building one takes longer than
+/// some simulations, so share them across the campaign.
+class TraceCache {
+ public:
+  const isa::Program& get(kernels::App app, int vl) {
+    const auto key = std::make_pair(static_cast<int>(app), vl);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, kernels::build_app(app, vl)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<int, int>, isa::Program> cache_;
+};
+
+}  // namespace
+
+std::vector<std::string> feature_names() {
+  std::vector<std::string> names;
+  names.reserve(config::kNumParams);
+  for (std::size_t i = 0; i < config::kNumParams; ++i) {
+    names.push_back(config::param_name(static_cast<config::ParamId>(i)));
+  }
+  return names;
+}
+
+std::string cycles_column(kernels::App app) {
+  return kernels::app_slug(app) + "_cycles";
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  ADSE_REQUIRE(spec.num_configs >= 1);
+  const config::ParameterSpace space;
+  config::SampleConstraints constraints;
+  constraints.fixed_vector_length = spec.fixed_vector_length;
+
+  const auto names = feature_names();
+  CsvTable table;
+  table.columns = names;
+  for (kernels::App app : kernels::all_apps()) {
+    table.columns.push_back(cycles_column(app));
+  }
+  table.rows.resize(static_cast<std::size_t>(spec.num_configs));
+
+  TraceCache traces;
+  Stopwatch watch;
+  ThreadPool pool(static_cast<std::size_t>(std::max(1, spec.threads)));
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+
+  pool.parallel_for(
+      static_cast<std::size_t>(spec.num_configs), [&](std::size_t i) {
+        // Independent deterministic stream per configuration index: the
+        // campaign is reproducible regardless of thread interleaving.
+        Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1);
+        const config::CpuConfig cpu = space.sample(rng, constraints);
+
+        const auto features = config::feature_vector(cpu);
+        std::vector<double> row(features.begin(), features.end());
+        row.reserve(features.size() + kernels::kNumApps);
+        for (kernels::App app : kernels::all_apps()) {
+          const isa::Program& trace =
+              traces.get(app, cpu.core.vector_length_bits);
+          const sim::RunResult result = sim::simulate(cpu, trace);
+          row.push_back(static_cast<double>(result.cycles()));
+        }
+        table.rows[i] = std::move(row);
+
+        if (spec.verbose) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          if (++done % 100 == 0 ||
+              done == static_cast<std::size_t>(spec.num_configs)) {
+            std::fprintf(stderr,
+                         "[campaign %s] %zu/%d configs (%.1fs elapsed)\n",
+                         spec.label.c_str(), done, spec.num_configs,
+                         watch.seconds());
+          }
+        }
+      });
+
+  return result_from_table(std::move(table));
+}
+
+CampaignResult result_from_table(CsvTable table) {
+  CampaignResult result;
+  const auto names = feature_names();
+  ADSE_REQUIRE_MSG(table.columns.size() ==
+                       names.size() + static_cast<std::size_t>(kernels::kNumApps),
+                   "unexpected campaign CSV schema (" << table.columns.size()
+                                                      << " columns)");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ADSE_REQUIRE_MSG(table.columns[i] == names[i],
+                     "campaign CSV column '" << table.columns[i]
+                                             << "' != expected '" << names[i]
+                                             << "'");
+  }
+
+  for (kernels::App app : kernels::all_apps()) {
+    const std::size_t col = table.column_index(cycles_column(app));
+    ml::Dataset& ds = result.per_app[static_cast<std::size_t>(app)];
+    ds.feature_names = names;
+    for (const auto& row : table.rows) {
+      std::vector<double> features(row.begin(),
+                                   row.begin() + static_cast<std::ptrdiff_t>(
+                                                     names.size()));
+      ds.add_row(std::move(features), row[col]);
+    }
+    ds.check();
+  }
+  result.table = std::move(table);
+  return result;
+}
+
+std::string cache_path(const CampaignSpec& spec) {
+  std::string name = "campaign_" + spec.label + "_n" +
+                     std::to_string(spec.num_configs) + "_s" +
+                     std::to_string(spec.seed);
+  if (spec.fixed_vector_length) {
+    name += "_vl" + std::to_string(*spec.fixed_vector_length);
+  }
+  return cache_dir() + "/" + name + ".csv";
+}
+
+CampaignResult load_or_run(const CampaignSpec& spec) {
+  const std::string path = cache_path(spec);
+  if (file_exists(path)) {
+    if (spec.verbose) {
+      std::fprintf(stderr, "[campaign %s] loading cached dataset %s\n",
+                   spec.label.c_str(), path.c_str());
+    }
+    return result_from_table(read_csv(path));
+  }
+  CampaignResult result = run_campaign(spec);
+  std::filesystem::create_directories(cache_dir());
+  write_csv(path, result.table);
+  if (spec.verbose) {
+    std::fprintf(stderr, "[campaign %s] cached dataset at %s\n",
+                 spec.label.c_str(), path.c_str());
+  }
+  return result;
+}
+
+CampaignSpec main_campaign_spec() {
+  CampaignSpec spec;
+  spec.label = "main";
+  spec.num_configs = static_cast<int>(main_campaign_configs());
+  spec.seed = campaign_seed();
+  spec.threads = static_cast<int>(campaign_threads());
+  return spec;
+}
+
+CampaignSpec constrained_campaign_spec(int vector_length_bits) {
+  CampaignSpec spec;
+  spec.label = "vlpin";
+  spec.num_configs = static_cast<int>(constrained_campaign_configs());
+  spec.seed = campaign_seed() + 1;
+  spec.fixed_vector_length = vector_length_bits;
+  spec.threads = static_cast<int>(campaign_threads());
+  return spec;
+}
+
+}  // namespace adse::campaign

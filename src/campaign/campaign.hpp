@@ -1,0 +1,65 @@
+#pragma once
+/// \file campaign.hpp
+/// The data-collection workflow of the paper's artifact (T1→T3): generate a
+/// uniformly random CPU configuration, simulate every benchmark on it,
+/// collect one dataset row per (configuration, application). Runs are
+/// dispatched across a thread pool (the in-process analogue of the paper's
+/// 640-core XCI launcher) and the assembled dataset is cached as CSV so each
+/// bench binary pays the campaign cost at most once.
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "config/cpu_config.hpp"
+#include "kernels/workloads.hpp"
+#include "ml/dataset.hpp"
+
+namespace adse::campaign {
+
+struct CampaignSpec {
+  std::string label = "main";       ///< cache key component
+  int num_configs = 1500;            ///< configurations to sample
+  std::uint64_t seed = 42;          ///< sampling seed
+  std::optional<int> fixed_vector_length;  ///< Fig. 4/5 pinned-VL campaigns
+  int threads = 1;                  ///< worker threads
+  bool verbose = true;              ///< progress lines on stderr
+};
+
+/// The assembled campaign data: one surrogate dataset per application (the
+/// paper trains one model per code, §V-C), plus the combined CSV table.
+struct CampaignResult {
+  std::array<ml::Dataset, kernels::kNumApps> per_app;
+  CsvTable table;
+
+  const ml::Dataset& dataset(kernels::App app) const {
+    return per_app[static_cast<std::size_t>(app)];
+  }
+};
+
+/// The 30 feature-column names, in ParamId order (shared CSV/ML schema).
+std::vector<std::string> feature_names();
+
+/// CSV column carrying an app's simulated cycles ("stream_cycles", ...).
+std::string cycles_column(kernels::App app);
+
+/// Runs the campaign now (no cache).
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+/// Loads the campaign from the CSV cache (ADSE_CACHE_DIR) or runs and caches
+/// it. The cache key includes label, size, seed and any VL pin.
+CampaignResult load_or_run(const CampaignSpec& spec);
+
+/// Path the spec caches to (for tooling/tests).
+std::string cache_path(const CampaignSpec& spec);
+
+/// Specs used by the benchmark suite, honouring the ADSE_* env knobs.
+CampaignSpec main_campaign_spec();
+CampaignSpec constrained_campaign_spec(int vector_length_bits);
+
+/// Rebuilds per-app datasets from a loaded CSV table.
+CampaignResult result_from_table(CsvTable table);
+
+}  // namespace adse::campaign

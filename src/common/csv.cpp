@@ -1,0 +1,86 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/strings.hpp"
+
+namespace adse {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  ADSE_REQUIRE_MSG(false, "no such CSV column: '" << name << "'");
+  return 0;  // unreachable
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[idx]);
+  return out;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream f(path, std::ios::trunc);
+  ADSE_REQUIRE_MSG(f.good(), "cannot open '" << path << "' for writing");
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    if (i) f << ',';
+    f << table.columns[i];
+  }
+  f << '\n';
+  char buf[64];
+  for (const auto& row : table.rows) {
+    ADSE_REQUIRE_MSG(row.size() == table.columns.size(),
+                     "ragged CSV row: " << row.size() << " values, "
+                                        << table.columns.size() << " columns");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      // %.17g round-trips any double; shorter representations are produced
+      // for integral values, which most features are.
+      std::snprintf(buf, sizeof(buf), "%.17g", row[i]);
+      f << buf;
+    }
+    f << '\n';
+  }
+  f.flush();
+  ADSE_REQUIRE_MSG(f.good(), "write to '" << path << "' failed");
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream f(path);
+  ADSE_REQUIRE_MSG(f.good(), "cannot open '" << path << "' for reading");
+  CsvTable table;
+  std::string line;
+  ADSE_REQUIRE_MSG(static_cast<bool>(std::getline(f, line)),
+                   "empty CSV file: '" << path << "'");
+  for (const auto& name : split(line, ',')) {
+    table.columns.emplace_back(trim(name));
+  }
+  while (std::getline(f, line)) {
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    ADSE_REQUIRE_MSG(fields.size() == table.columns.size(),
+                     "ragged CSV row in '" << path << "': " << fields.size()
+                                           << " fields, expected "
+                                           << table.columns.size());
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) row.push_back(parse_double(field));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace adse

@@ -1,0 +1,38 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV persistence for campaign datasets. The on-disk format matches
+/// what the paper's `collect_data.py` produced: one header row of column
+/// names, then one row of numeric values per simulated configuration.
+
+#include <string>
+#include <vector>
+
+namespace adse {
+
+/// An in-memory numeric table with named columns (row-major storage).
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_cols() const { return columns.size(); }
+
+  /// Index of a named column; throws if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Extracts a full column by name.
+  std::vector<double> column(const std::string& name) const;
+};
+
+/// Writes a table to `path`; throws on I/O failure. Values are written with
+/// enough precision to round-trip doubles.
+void write_csv(const std::string& path, const CsvTable& table);
+
+/// Reads a table from `path`; throws on I/O or parse failure, including
+/// ragged rows.
+CsvTable read_csv(const std::string& path);
+
+/// True if the file exists and is a regular readable file.
+bool file_exists(const std::string& path);
+
+}  // namespace adse

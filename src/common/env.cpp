@@ -1,0 +1,48 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/require.hpp"
+#include "common/strings.hpp"
+
+namespace adse {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return parse_int(v);
+}
+
+std::string cache_dir() { return env_string("ADSE_CACHE_DIR", "./adse_cache"); }
+
+std::int64_t main_campaign_configs() {
+  const std::int64_t n = env_int("ADSE_CONFIGS", 1500);
+  ADSE_REQUIRE_MSG(n >= 10, "ADSE_CONFIGS must be >= 10, got " << n);
+  return n;
+}
+
+std::int64_t constrained_campaign_configs() {
+  const std::int64_t n = env_int("ADSE_CONFIGS_CONSTRAINED", 500);
+  ADSE_REQUIRE_MSG(n >= 10, "ADSE_CONFIGS_CONSTRAINED must be >= 10, got " << n);
+  return n;
+}
+
+std::int64_t campaign_threads() {
+  const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  const std::int64_t n = env_int("ADSE_THREADS", hw > 0 ? hw : 1);
+  ADSE_REQUIRE_MSG(n >= 1, "ADSE_THREADS must be >= 1, got " << n);
+  return n;
+}
+
+std::uint64_t campaign_seed() {
+  return static_cast<std::uint64_t>(env_int("ADSE_SEED", 42));
+}
+
+}  // namespace adse

@@ -1,0 +1,37 @@
+#pragma once
+/// \file env.hpp
+/// Environment-variable knobs that scale the reproduction campaign. The
+/// paper ran 180,006 simulations on 640 ThunderX2 cores; a laptop run scales
+/// the campaign down with these knobs without touching code.
+
+#include <cstdint>
+#include <string>
+
+namespace adse {
+
+/// Reads an environment variable, or returns `fallback` if unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Reads an integer environment variable; throws on malformed values.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Directory where campaign datasets are cached (ADSE_CACHE_DIR,
+/// default "./adse_cache"). Created on demand by the campaign runner.
+std::string cache_dir();
+
+/// Number of configurations in the main campaign per application
+/// (ADSE_CONFIGS, default 1500).
+std::int64_t main_campaign_configs();
+
+/// Number of configurations in each VL-constrained campaign
+/// (ADSE_CONFIGS_CONSTRAINED, default 500).
+std::int64_t constrained_campaign_configs();
+
+/// Worker threads for the campaign (ADSE_THREADS, default: hardware
+/// concurrency).
+std::int64_t campaign_threads();
+
+/// Global campaign seed (ADSE_SEED, default 42).
+std::uint64_t campaign_seed();
+
+}  // namespace adse

@@ -1,0 +1,47 @@
+#pragma once
+/// \file require.hpp
+/// Lightweight precondition / invariant checking used across the library.
+///
+/// Unlike assert(), these checks are always on: a design-space campaign that
+/// silently simulates an invalid CPU configuration poisons the dataset, so
+/// violations throw and the offending configuration is reported and dropped.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adse {
+
+/// Thrown when a precondition or internal invariant is violated.
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace adse
+
+/// Always-on requirement check; throws adse::InvariantError on failure.
+#define ADSE_REQUIRE(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::adse::detail::require_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Requirement check with a context message (streamed into the exception).
+#define ADSE_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream adse_req_os_;                                    \
+      adse_req_os_ << msg;                                                \
+      ::adse::detail::require_fail(#expr, __FILE__, __LINE__, adse_req_os_.str()); \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include "common/require.hpp"
+
+namespace adse {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // A theoretically possible but astronomically unlikely all-zero state would
+  // lock the generator at zero; nudge it.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ADSE_REQUIRE_MSG(lo <= hi, "uniform_int(" << lo << ", " << hi << ")");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire-style rejection sampling for an unbiased bounded draw.
+  const std::uint64_t threshold = (0 - span) % span;
+  std::uint64_t r = next();
+  while (r < threshold) r = next();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  ADSE_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::size_t Rng::index(std::size_t n) {
+  ADSE_REQUIRE(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n - 1)));
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace adse

@@ -1,0 +1,64 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, splittable pseudo-random number generation.
+///
+/// The campaign must be reproducible: the same seed must yield the same
+/// sampled configurations, the same train/test split and the same permutation
+/// shuffles on every platform. std::mt19937 distributions are not guaranteed
+/// to be portable across standard libraries, so we implement xoshiro256**
+/// plus our own bounded-integer and unit-real conversions.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace adse {
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Uniformly chosen element index for a container of size n. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator (for per-task streams).
+  Rng split();
+
+  /// Fisher–Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace adse

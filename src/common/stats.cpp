@@ -1,0 +1,110 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace adse {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  ADSE_REQUIRE_MSG(n_ > 0, "min() of empty OnlineStats");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  ADSE_REQUIRE_MSG(n_ > 0, "max() of empty OnlineStats");
+  return max_;
+}
+
+double mean(const std::vector<double>& v) {
+  ADSE_REQUIRE(!v.empty());
+  OnlineStats s;
+  for (double x : v) s.add(x);
+  return s.mean();
+}
+
+double variance(const std::vector<double>& v) {
+  OnlineStats s;
+  for (double x : v) s.add(x);
+  return s.variance();
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double percentile(std::vector<double> v, double p) {
+  ADSE_REQUIRE(!v.empty());
+  ADSE_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double geomean(const std::vector<double>& v) {
+  ADSE_REQUIRE(!v.empty());
+  double acc = 0.0;
+  for (double x : v) {
+    ADSE_REQUIRE_MSG(x > 0.0, "geomean requires positive values, got " << x);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double fraction_within(const std::vector<double>& truth,
+                       const std::vector<double>& pred, double tol) {
+  ADSE_REQUIRE(truth.size() == pred.size());
+  ADSE_REQUIRE(!truth.empty());
+  std::size_t within = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) {
+      within += (pred[i] == 0.0) ? 1 : 0;
+    } else if (std::abs(pred[i] - truth[i]) / std::abs(truth[i]) <= tol) {
+      ++within;
+    }
+  }
+  return static_cast<double>(within) / static_cast<double>(truth.size());
+}
+
+}  // namespace adse

@@ -1,0 +1,51 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch statistics used by the campaign collector, the ML
+/// metrics and the analysis binning code.
+
+#include <cstddef>
+#include <vector>
+
+namespace adse {
+
+/// Numerically stable single-pass accumulator (Welford) for mean/variance,
+/// plus min/max tracking. Suitable for millions of samples.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers (each validates non-empty input where required).
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> v, double p);
+
+/// Geometric mean; requires strictly positive values.
+double geomean(const std::vector<double>& v);
+
+/// Fraction of |pred - truth| / truth <= tol (relative tolerance).
+/// Entries with truth == 0 count as within tolerance only if pred == 0.
+double fraction_within(const std::vector<double>& truth,
+                       const std::vector<double>& pred, double tol);
+
+}  // namespace adse

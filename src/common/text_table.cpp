@@ -1,0 +1,59 @@
+#include "common/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace adse {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  ADSE_REQUIRE(!header_.empty());
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  ADSE_REQUIRE_MSG(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  ADSE_REQUIRE(col < align_.size());
+  align_[col] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << "  ";
+      const auto pad = width[c] - cells[c].size();
+      if (align_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cells[c];
+      if (align_[c] == Align::kLeft && c + 1 < cells.size()) {
+        os << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace adse

@@ -1,0 +1,36 @@
+#pragma once
+/// \file text_table.hpp
+/// Aligned plain-text table rendering. The benchmark harness prints every
+/// paper table/figure as one of these so reports are diffable and greppable.
+
+#include <string>
+#include <vector>
+
+namespace adse {
+
+/// Column alignment for rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: a header row plus string cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Per-column alignment (defaults: first column left, rest right).
+  void set_align(std::size_t col, Align align);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a separator rule under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+}  // namespace adse

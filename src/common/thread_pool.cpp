@@ -1,0 +1,83 @@
+#include "common/thread_pool.hpp"
+
+#include "common/require.hpp"
+
+namespace adse {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  ADSE_REQUIRE(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  // Shared iteration counter: workers (and the calling thread) grab the next
+  // index until exhausted. This self-balances uneven simulation times.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto done = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+  auto done_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [=, &fn]() {
+    while (true) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!*first_error) *first_error = std::current_exception();
+      }
+      if (done->fetch_add(1) + 1 == count) {
+        std::lock_guard<std::mutex> lock(*done_mutex);
+        done_cv->notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) tasks_.push(drain);
+  }
+  cv_.notify_all();
+
+  // The caller participates too, so a single-threaded pool still overlaps.
+  drain();
+
+  std::unique_lock<std::mutex> lock(*done_mutex);
+  done_cv->wait(lock, [&] { return done->load() >= count; });
+
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+}  // namespace adse

@@ -1,0 +1,47 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A fixed-size worker pool with a parallel-for primitive. The campaign
+/// dispatches independent simulations across workers exactly the way the
+/// paper's launcher dispatched SimEng instances across XCI cores; results are
+/// written to pre-sized slots so no ordering or locking is needed on the
+/// output side.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace adse {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. If any iteration throws, the first exception is
+  /// rethrown on the caller after all iterations complete or are abandoned.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace adse

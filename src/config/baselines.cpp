@@ -1,0 +1,159 @@
+#include "config/baselines.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::config {
+
+CpuConfig thunderx2_baseline() {
+  CpuConfig c;
+  c.name = "thunderx2";
+  c.core.vector_length_bits = 128;  // NEON-width SVE graft
+  c.core.fetch_block_bytes = 32;    // 8 x 4-byte instructions per fetch
+  c.core.loop_buffer_size = 32;
+  c.core.gp_phys_regs = 128;
+  c.core.fp_phys_regs = 128;
+  c.core.pred_phys_regs = 48;
+  c.core.cond_phys_regs = 32;
+  c.core.commit_width = 4;
+  c.core.frontend_width = 4;
+  c.core.lsq_completion_width = 2;
+  c.core.rob_size = 180;
+  c.core.load_queue_size = 64;
+  c.core.store_queue_size = 36;
+  c.core.load_bandwidth_bytes = 32;   // two 128-bit load pipes
+  c.core.store_bandwidth_bytes = 16;  // one 128-bit store pipe
+  c.core.mem_requests_per_cycle = 3;
+  c.core.mem_loads_per_cycle = 2;
+  c.core.mem_stores_per_cycle = 1;
+
+  c.mem.cache_line_bytes = 64;
+  c.mem.l1_size_kib = 32;
+  c.mem.l1_latency_cycles = 4;
+  c.mem.l1_clock_ghz = 2.5;
+  c.mem.l1_assoc = 8;
+  c.mem.l2_size_kib = 256;
+  c.mem.l2_latency_cycles = 11;
+  c.mem.l2_clock_ghz = 2.5;
+  c.mem.l2_assoc = 8;
+  c.mem.ram_latency_ns = 95.0;  // AnandTech-measured TX2 memory latency class
+  c.mem.ram_clock_ghz = 1.33;   // DDR4-2666
+  c.mem.prefetch_distance = 4;
+  validate(c);
+  return c;
+}
+
+CpuConfig a64fx_like() {
+  CpuConfig c;
+  c.name = "a64fx-like";
+  c.core.vector_length_bits = 512;
+  c.core.fetch_block_bytes = 32;
+  c.core.loop_buffer_size = 48;
+  c.core.gp_phys_regs = 96;
+  c.core.fp_phys_regs = 128;
+  c.core.pred_phys_regs = 48;
+  c.core.cond_phys_regs = 32;
+  c.core.commit_width = 4;
+  c.core.frontend_width = 4;
+  c.core.lsq_completion_width = 2;
+  c.core.rob_size = 128;
+  c.core.load_queue_size = 40;
+  c.core.store_queue_size = 24;
+  c.core.load_bandwidth_bytes = 128;  // two 512-bit load pipes
+  c.core.store_bandwidth_bytes = 64;
+  c.core.mem_requests_per_cycle = 3;
+  c.core.mem_loads_per_cycle = 2;
+  c.core.mem_stores_per_cycle = 1;
+
+  c.mem.cache_line_bytes = 256;
+  c.mem.l1_size_kib = 64;
+  c.mem.l1_latency_cycles = 5;
+  c.mem.l1_clock_ghz = 2.0;
+  c.mem.l1_assoc = 4;
+  c.mem.l2_size_kib = 8192;
+  c.mem.l2_latency_cycles = 37;
+  c.mem.l2_clock_ghz = 2.0;
+  c.mem.l2_assoc = 16;
+  c.mem.ram_latency_ns = 120.0;  // HBM2: high latency, high bandwidth
+  c.mem.ram_clock_ghz = 3.2;
+  c.mem.prefetch_distance = 8;
+  validate(c);
+  return c;
+}
+
+CpuConfig minimal_viable() {
+  CpuConfig c;
+  c.name = "minimal";
+  c.core.vector_length_bits = 128;
+  c.core.fetch_block_bytes = 4;
+  c.core.loop_buffer_size = 1;
+  c.core.gp_phys_regs = 38;
+  c.core.fp_phys_regs = 38;
+  c.core.pred_phys_regs = 24;
+  c.core.cond_phys_regs = 8;
+  c.core.commit_width = 1;
+  c.core.frontend_width = 1;
+  c.core.lsq_completion_width = 1;
+  c.core.rob_size = 8;
+  c.core.load_queue_size = 4;
+  c.core.store_queue_size = 4;
+  c.core.load_bandwidth_bytes = 16;
+  c.core.store_bandwidth_bytes = 16;
+  c.core.mem_requests_per_cycle = 1;
+  c.core.mem_loads_per_cycle = 1;
+  c.core.mem_stores_per_cycle = 1;
+
+  c.mem.cache_line_bytes = 32;
+  c.mem.l1_size_kib = 4;
+  c.mem.l1_latency_cycles = 2;
+  c.mem.l1_clock_ghz = 1.0;
+  c.mem.l1_assoc = 2;
+  c.mem.l2_size_kib = 64;
+  c.mem.l2_latency_cycles = 16;
+  c.mem.l2_clock_ghz = 1.0;
+  c.mem.l2_assoc = 4;
+  c.mem.ram_latency_ns = 180.0;
+  c.mem.ram_clock_ghz = 0.8;
+  c.mem.prefetch_distance = 0;
+  validate(c);
+  return c;
+}
+
+CpuConfig big_future() {
+  CpuConfig c;
+  c.name = "big-future";
+  c.core.vector_length_bits = 2048;
+  c.core.fetch_block_bytes = 256;
+  c.core.loop_buffer_size = 256;
+  c.core.gp_phys_regs = 512;
+  c.core.fp_phys_regs = 512;
+  c.core.pred_phys_regs = 256;
+  c.core.cond_phys_regs = 128;
+  c.core.commit_width = 16;
+  c.core.frontend_width = 16;
+  c.core.lsq_completion_width = 8;
+  c.core.rob_size = 512;
+  c.core.load_queue_size = 256;
+  c.core.store_queue_size = 128;
+  c.core.load_bandwidth_bytes = 1024;
+  c.core.store_bandwidth_bytes = 512;
+  c.core.mem_requests_per_cycle = 8;
+  c.core.mem_loads_per_cycle = 6;
+  c.core.mem_stores_per_cycle = 4;
+
+  c.mem.cache_line_bytes = 128;
+  c.mem.l1_size_kib = 128;
+  c.mem.l1_latency_cycles = 3;
+  c.mem.l1_clock_ghz = 3.5;
+  c.mem.l1_assoc = 8;
+  c.mem.l2_size_kib = 4096;
+  c.mem.l2_latency_cycles = 14;
+  c.mem.l2_clock_ghz = 3.0;
+  c.mem.l2_assoc = 16;
+  c.mem.ram_latency_ns = 75.0;
+  c.mem.ram_clock_ghz = 3.2;
+  c.mem.prefetch_distance = 8;
+  validate(c);
+  return c;
+}
+
+}  // namespace adse::config

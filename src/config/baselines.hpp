@@ -1,0 +1,31 @@
+#pragma once
+/// \file baselines.hpp
+/// Reference CPU configurations. The Marvell ThunderX2 model is the paper's
+/// validation baseline (§IV-B): an out-of-order superscalar armv8.1 CPU
+/// whose published microarchitecture anchors our Table-I reproduction. SVE
+/// support is grafted on at VL=128 exactly as the paper modified the SimEng
+/// model ("SVE support was added by modifying the design of the execution
+/// units").
+
+#include "config/cpu_config.hpp"
+
+namespace adse::config {
+
+/// ThunderX2-like baseline: 4-wide OoO, ROB 180, 32 KiB 8-way L1D (4 cycles),
+/// 256 KiB 8-way L2 (~11 cycles), DDR4-class DRAM (~95 ns), 64 B lines.
+CpuConfig thunderx2_baseline();
+
+/// A64FX-flavoured configuration (512-bit SVE, large L2-as-LLC, HBM-class
+/// DRAM clock). Used by examples and the µarch ablation benches; the paper
+/// validates Fig. 1 vectorisation against A64FX hardware.
+CpuConfig a64fx_like();
+
+/// A deliberately small in-order-ish design (minimum widths) used by tests
+/// and examples as a pessimistic anchor.
+CpuConfig minimal_viable();
+
+/// A near-future large design (wide, big ROB/registers, fast memory) used as
+/// an optimistic anchor.
+CpuConfig big_future();
+
+}  // namespace adse::config

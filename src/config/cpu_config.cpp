@@ -1,0 +1,263 @@
+#include "config/cpu_config.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace adse::config {
+
+namespace {
+
+const std::array<std::string, kNumParams> kParamNames = {
+    "vector_length_bits",
+    "fetch_block_bytes",
+    "loop_buffer_size",
+    "gp_phys_regs",
+    "fp_phys_regs",
+    "pred_phys_regs",
+    "cond_phys_regs",
+    "commit_width",
+    "frontend_width",
+    "lsq_completion_width",
+    "rob_size",
+    "load_queue_size",
+    "store_queue_size",
+    "load_bandwidth_bytes",
+    "store_bandwidth_bytes",
+    "mem_requests_per_cycle",
+    "mem_loads_per_cycle",
+    "mem_stores_per_cycle",
+    "cache_line_bytes",
+    "l1_size_kib",
+    "l1_latency_cycles",
+    "l1_clock_ghz",
+    "l1_assoc",
+    "l2_size_kib",
+    "l2_latency_cycles",
+    "l2_clock_ghz",
+    "l2_assoc",
+    "ram_latency_ns",
+    "ram_clock_ghz",
+    "prefetch_distance",
+};
+
+bool is_pow2(long long v) { return v > 0 && (v & (v - 1)) == 0; }
+
+void check_range(bool ok, const char* what, double value) {
+  ADSE_REQUIRE_MSG(ok, "parameter '" << what << "' out of range: " << value);
+}
+
+}  // namespace
+
+const std::string& param_name(ParamId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  ADSE_REQUIRE(idx < kNumParams);
+  return kParamNames[idx];
+}
+
+ParamId param_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    if (kParamNames[i] == name) return static_cast<ParamId>(i);
+  }
+  ADSE_REQUIRE_MSG(false, "unknown parameter name '" << name << "'");
+  return ParamId::kVectorLength;  // unreachable
+}
+
+std::array<double, kNumParams> feature_vector(const CpuConfig& c) {
+  return {
+      static_cast<double>(c.core.vector_length_bits),
+      static_cast<double>(c.core.fetch_block_bytes),
+      static_cast<double>(c.core.loop_buffer_size),
+      static_cast<double>(c.core.gp_phys_regs),
+      static_cast<double>(c.core.fp_phys_regs),
+      static_cast<double>(c.core.pred_phys_regs),
+      static_cast<double>(c.core.cond_phys_regs),
+      static_cast<double>(c.core.commit_width),
+      static_cast<double>(c.core.frontend_width),
+      static_cast<double>(c.core.lsq_completion_width),
+      static_cast<double>(c.core.rob_size),
+      static_cast<double>(c.core.load_queue_size),
+      static_cast<double>(c.core.store_queue_size),
+      static_cast<double>(c.core.load_bandwidth_bytes),
+      static_cast<double>(c.core.store_bandwidth_bytes),
+      static_cast<double>(c.core.mem_requests_per_cycle),
+      static_cast<double>(c.core.mem_loads_per_cycle),
+      static_cast<double>(c.core.mem_stores_per_cycle),
+      static_cast<double>(c.mem.cache_line_bytes),
+      static_cast<double>(c.mem.l1_size_kib),
+      static_cast<double>(c.mem.l1_latency_cycles),
+      c.mem.l1_clock_ghz,
+      static_cast<double>(c.mem.l1_assoc),
+      static_cast<double>(c.mem.l2_size_kib),
+      static_cast<double>(c.mem.l2_latency_cycles),
+      c.mem.l2_clock_ghz,
+      static_cast<double>(c.mem.l2_assoc),
+      c.mem.ram_latency_ns,
+      c.mem.ram_clock_ghz,
+      static_cast<double>(c.mem.prefetch_distance),
+  };
+}
+
+CpuConfig config_from_features(const std::array<double, kNumParams>& f) {
+  CpuConfig c;
+  auto i = [&](ParamId id) {
+    return static_cast<int>(f[static_cast<std::size_t>(id)]);
+  };
+  auto d = [&](ParamId id) { return f[static_cast<std::size_t>(id)]; };
+
+  c.core.vector_length_bits = i(ParamId::kVectorLength);
+  c.core.fetch_block_bytes = i(ParamId::kFetchBlockSize);
+  c.core.loop_buffer_size = i(ParamId::kLoopBufferSize);
+  c.core.gp_phys_regs = i(ParamId::kGpRegisters);
+  c.core.fp_phys_regs = i(ParamId::kFpRegisters);
+  c.core.pred_phys_regs = i(ParamId::kPredRegisters);
+  c.core.cond_phys_regs = i(ParamId::kCondRegisters);
+  c.core.commit_width = i(ParamId::kCommitWidth);
+  c.core.frontend_width = i(ParamId::kFrontendWidth);
+  c.core.lsq_completion_width = i(ParamId::kLsqCompletionWidth);
+  c.core.rob_size = i(ParamId::kRobSize);
+  c.core.load_queue_size = i(ParamId::kLoadQueueSize);
+  c.core.store_queue_size = i(ParamId::kStoreQueueSize);
+  c.core.load_bandwidth_bytes = i(ParamId::kLoadBandwidth);
+  c.core.store_bandwidth_bytes = i(ParamId::kStoreBandwidth);
+  c.core.mem_requests_per_cycle = i(ParamId::kMemRequestsPerCycle);
+  c.core.mem_loads_per_cycle = i(ParamId::kMemLoadsPerCycle);
+  c.core.mem_stores_per_cycle = i(ParamId::kMemStoresPerCycle);
+  c.mem.cache_line_bytes = i(ParamId::kCacheLineWidth);
+  c.mem.l1_size_kib = i(ParamId::kL1Size);
+  c.mem.l1_latency_cycles = i(ParamId::kL1Latency);
+  c.mem.l1_clock_ghz = d(ParamId::kL1Clock);
+  c.mem.l1_assoc = i(ParamId::kL1Assoc);
+  c.mem.l2_size_kib = i(ParamId::kL2Size);
+  c.mem.l2_latency_cycles = i(ParamId::kL2Latency);
+  c.mem.l2_clock_ghz = d(ParamId::kL2Clock);
+  c.mem.l2_assoc = i(ParamId::kL2Assoc);
+  c.mem.ram_latency_ns = d(ParamId::kRamLatency);
+  c.mem.ram_clock_ghz = d(ParamId::kRamClock);
+  c.mem.prefetch_distance = i(ParamId::kPrefetchDistance);
+  c.name = "from-features";
+  return c;
+}
+
+void validate(const CpuConfig& cfg) {
+  const CoreParams& c = cfg.core;
+  const MemParams& m = cfg.mem;
+
+  check_range(c.vector_length_bits >= 128 && c.vector_length_bits <= 2048 &&
+                  is_pow2(c.vector_length_bits),
+              "vector_length_bits", c.vector_length_bits);
+  check_range(c.fetch_block_bytes >= 4 && c.fetch_block_bytes <= 2048 &&
+                  is_pow2(c.fetch_block_bytes),
+              "fetch_block_bytes", c.fetch_block_bytes);
+  check_range(c.loop_buffer_size >= 1 && c.loop_buffer_size <= 512,
+              "loop_buffer_size", c.loop_buffer_size);
+  check_range(c.gp_phys_regs >= 38 && c.gp_phys_regs <= 512, "gp_phys_regs",
+              c.gp_phys_regs);
+  check_range(c.fp_phys_regs >= 38 && c.fp_phys_regs <= 512, "fp_phys_regs",
+              c.fp_phys_regs);
+  check_range(c.pred_phys_regs >= 24 && c.pred_phys_regs <= 512,
+              "pred_phys_regs", c.pred_phys_regs);
+  check_range(c.cond_phys_regs >= 8 && c.cond_phys_regs <= 512,
+              "cond_phys_regs", c.cond_phys_regs);
+  check_range(c.commit_width >= 1 && c.commit_width <= 64, "commit_width",
+              c.commit_width);
+  check_range(c.frontend_width >= 1 && c.frontend_width <= 64,
+              "frontend_width", c.frontend_width);
+  check_range(c.lsq_completion_width >= 1 && c.lsq_completion_width <= 64,
+              "lsq_completion_width", c.lsq_completion_width);
+  check_range(c.rob_size >= 8 && c.rob_size <= 512, "rob_size", c.rob_size);
+  check_range(c.load_queue_size >= 4 && c.load_queue_size <= 512,
+              "load_queue_size", c.load_queue_size);
+  check_range(c.store_queue_size >= 4 && c.store_queue_size <= 512,
+              "store_queue_size", c.store_queue_size);
+  check_range(c.load_bandwidth_bytes >= 16 && c.load_bandwidth_bytes <= 1024 &&
+                  is_pow2(c.load_bandwidth_bytes),
+              "load_bandwidth_bytes", c.load_bandwidth_bytes);
+  check_range(c.store_bandwidth_bytes >= 16 &&
+                  c.store_bandwidth_bytes <= 1024 &&
+                  is_pow2(c.store_bandwidth_bytes),
+              "store_bandwidth_bytes", c.store_bandwidth_bytes);
+  check_range(c.mem_requests_per_cycle >= 1 && c.mem_requests_per_cycle <= 32,
+              "mem_requests_per_cycle", c.mem_requests_per_cycle);
+  check_range(c.mem_loads_per_cycle >= 1 && c.mem_loads_per_cycle <= 32,
+              "mem_loads_per_cycle", c.mem_loads_per_cycle);
+  check_range(c.mem_stores_per_cycle >= 1 && c.mem_stores_per_cycle <= 32,
+              "mem_stores_per_cycle", c.mem_stores_per_cycle);
+
+  check_range(m.cache_line_bytes >= 32 && m.cache_line_bytes <= 256 &&
+                  is_pow2(m.cache_line_bytes),
+              "cache_line_bytes", m.cache_line_bytes);
+  check_range(m.l1_size_kib >= 4 && m.l1_size_kib <= 128 &&
+                  is_pow2(m.l1_size_kib),
+              "l1_size_kib", m.l1_size_kib);
+  check_range(m.l1_latency_cycles >= 1 && m.l1_latency_cycles <= 8,
+              "l1_latency_cycles", m.l1_latency_cycles);
+  check_range(m.l1_clock_ghz >= 1.0 && m.l1_clock_ghz <= 4.0, "l1_clock_ghz",
+              m.l1_clock_ghz);
+  check_range(m.l1_assoc >= 1 && m.l1_assoc <= 16 && is_pow2(m.l1_assoc),
+              "l1_assoc", m.l1_assoc);
+  check_range(m.l2_size_kib >= 64 && m.l2_size_kib <= 8192 &&
+                  is_pow2(m.l2_size_kib),
+              "l2_size_kib", m.l2_size_kib);
+  check_range(m.l2_latency_cycles >= 4 && m.l2_latency_cycles <= 64,
+              "l2_latency_cycles", m.l2_latency_cycles);
+  check_range(m.l2_clock_ghz >= 0.5 && m.l2_clock_ghz <= 4.0, "l2_clock_ghz",
+              m.l2_clock_ghz);
+  check_range(m.l2_assoc >= 1 && m.l2_assoc <= 16 && is_pow2(m.l2_assoc),
+              "l2_assoc", m.l2_assoc);
+  check_range(m.ram_latency_ns >= 60.0 && m.ram_latency_ns <= 200.0,
+              "ram_latency_ns", m.ram_latency_ns);
+  check_range(m.ram_clock_ghz >= 0.8 && m.ram_clock_ghz <= 3.2,
+              "ram_clock_ghz", m.ram_clock_ghz);
+  check_range(m.prefetch_distance >= 0 && m.prefetch_distance <= 16,
+              "prefetch_distance", m.prefetch_distance);
+
+  // Cross-parameter constraints (§V-A): a functional design must be able to
+  // move a full vector per request, and L2 must be a strictly larger, slower
+  // backing level than L1.
+  const int vl_bytes = c.vector_length_bits / 8;
+  ADSE_REQUIRE_MSG(c.load_bandwidth_bytes >= vl_bytes,
+                   "load bandwidth " << c.load_bandwidth_bytes
+                                     << "B cannot hold vector of " << vl_bytes
+                                     << "B");
+  ADSE_REQUIRE_MSG(c.store_bandwidth_bytes >= vl_bytes,
+                   "store bandwidth " << c.store_bandwidth_bytes
+                                      << "B cannot hold vector of " << vl_bytes
+                                      << "B");
+  ADSE_REQUIRE_MSG(m.l2_size_kib > m.l1_size_kib,
+                   "L2 (" << m.l2_size_kib << " KiB) must exceed L1 ("
+                          << m.l1_size_kib << " KiB)");
+  ADSE_REQUIRE_MSG(m.l2_latency_cycles > m.l1_latency_cycles,
+                   "L2 latency (" << m.l2_latency_cycles
+                                  << ") must exceed L1 latency ("
+                                  << m.l1_latency_cycles << ")");
+  // Backend sanity (not searched, but configurable for the ablations).
+  const BackendSpec& b = cfg.backend;
+  check_range(b.reservation_station_size >= 4 &&
+                  b.reservation_station_size <= 512,
+              "reservation_station_size", b.reservation_station_size);
+  check_range(b.dispatch_width >= 1 && b.dispatch_width <= 64,
+              "dispatch_width", b.dispatch_width);
+  check_range(b.ls_ports >= 1 && b.ls_ports <= 16, "ls_ports", b.ls_ports);
+  check_range(b.vec_ports >= 1 && b.vec_ports <= 16, "vec_ports", b.vec_ports);
+  check_range(b.pred_ports >= 0 && b.pred_ports <= 16, "pred_ports",
+              b.pred_ports);
+  check_range(b.mix_ports >= 1 && b.mix_ports <= 16, "mix_ports", b.mix_ports);
+
+  // The cache must be able to hold at least one line per set.
+  ADSE_REQUIRE_MSG(
+      static_cast<long long>(m.l1_size_kib) * 1024 >=
+          static_cast<long long>(m.cache_line_bytes) * m.l1_assoc,
+      "L1 smaller than one set of lines");
+}
+
+bool is_valid(const CpuConfig& config) {
+  try {
+    validate(config);
+    return true;
+  } catch (const InvariantError&) {
+    return false;
+  }
+}
+
+}  // namespace adse::config

@@ -1,0 +1,148 @@
+#pragma once
+/// \file cpu_config.hpp
+/// The configurable CPU model description: the 18 core parameters of the
+/// paper's Table II plus the 12 memory-backend parameters of Table III,
+/// together with the fixed execution backend described in §V-A.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace adse::config {
+
+/// Number of variable model features ("thirty variable input features", §V-C).
+inline constexpr std::size_t kNumParams = 30;
+
+/// Architectural register counts for the modelled Arm ISA. Physical register
+/// file parameters must exceed these so at least one rename register exists
+/// per class (the paper's minimum viable values: GP/FP 38 > 32 architectural,
+/// predicate 24 > 17, conditional 8 > 1).
+inline constexpr int kArchGpRegs = 32;    // x0..x30 + sp
+inline constexpr int kArchFpRegs = 32;    // z0..z31 (v0..v31 overlay)
+inline constexpr int kArchPredRegs = 17;  // p0..p15 + ffr
+inline constexpr int kArchCondRegs = 1;   // nzcv
+
+/// Fixed backend constants (§V-A): execution unit layout, unified reservation
+/// station and dispatch rate are deliberately *not* part of the search space.
+inline constexpr int kReservationStationSize = 60;
+inline constexpr int kDispatchWidth = 4;
+inline constexpr double kCoreClockGhz = 2.5;
+
+/// Core (SimEng) parameters — Table II.
+struct CoreParams {
+  int vector_length_bits = 128;   ///< SVE vector length {128..2048, pow2}.
+  int fetch_block_bytes = 32;     ///< Fetch block size {4..2048, pow2}.
+  int loop_buffer_size = 32;      ///< Loop buffer micro-op capacity {1..512}.
+  int gp_phys_regs = 128;         ///< General-purpose physical registers {38..512}.
+  int fp_phys_regs = 128;         ///< FP/SVE physical registers {38..512}.
+  int pred_phys_regs = 48;        ///< Predicate physical registers {24..512}.
+  int cond_phys_regs = 32;        ///< Conditional (NZCV) physical registers {8..512}.
+  int commit_width = 4;           ///< Commit pipeline width {1..64}.
+  int frontend_width = 4;         ///< Fetch/decode/rename width {1..64}.
+  int lsq_completion_width = 2;   ///< LSQ completion pipeline width {1..64}.
+  int rob_size = 180;             ///< Reorder buffer entries {8..512}.
+  int load_queue_size = 64;       ///< Load queue entries {4..512}.
+  int store_queue_size = 36;      ///< Store queue entries {4..512}.
+  int load_bandwidth_bytes = 32;  ///< L1<->core load bytes/cycle {16..1024, pow2}.
+  int store_bandwidth_bytes = 32; ///< L1<->core store bytes/cycle {16..1024, pow2}.
+  int mem_requests_per_cycle = 3; ///< Total memory requests issued/cycle {1..32}.
+  int mem_loads_per_cycle = 2;    ///< Load requests issued/cycle {1..32}.
+  int mem_stores_per_cycle = 1;   ///< Store requests issued/cycle {1..32}.
+};
+
+/// Memory backend (SST) parameters — Table III (reconstructed; see DESIGN.md).
+struct MemParams {
+  int cache_line_bytes = 64;     ///< Cache line width {32..256, pow2}.
+  int l1_size_kib = 32;          ///< L1D capacity {4..128 KiB, pow2}.
+  int l1_latency_cycles = 4;     ///< L1 hit latency in L1-clock cycles {1..8}.
+  double l1_clock_ghz = 2.5;     ///< L1 clock {1.0..4.0}.
+  int l1_assoc = 8;              ///< L1 associativity {1..16, pow2}.
+  int l2_size_kib = 256;         ///< L2 capacity {64..8192 KiB, pow2, > L1}.
+  int l2_latency_cycles = 11;    ///< L2 hit latency in L2-clock cycles {4..64, > L1}.
+  double l2_clock_ghz = 2.5;     ///< L2 clock {0.5..4.0}.
+  int l2_assoc = 8;              ///< L2 associativity {1..16, pow2}.
+  double ram_latency_ns = 95.0;  ///< DRAM access latency {60..200 ns}.
+  double ram_clock_ghz = 1.33;   ///< DRAM clock (fill bandwidth) {0.8..3.2}.
+  int prefetch_distance = 4;     ///< Next-line prefetch depth in lines {0..16}.
+};
+
+/// The execution backend. §V-A deliberately FIXES this across the study
+/// ("the design of the execution units, ports, reservation stations ... are
+/// fixed to limit the scope"), so it is not part of the 30-feature search
+/// space; defaults reproduce the paper's layout. §VII names exploring it as
+/// future work — the backend-ablation bench does exactly that.
+struct BackendSpec {
+  int reservation_station_size = kReservationStationSize;  ///< unified RS
+  int dispatch_width = kDispatchWidth;  ///< instructions dispatched/cycle
+  int ls_ports = 3;    ///< load/store-exclusive ports
+  int vec_ports = 2;   ///< NEON/SVE ports
+  int pred_ports = 1;  ///< predicate-only ports
+  int mix_ports = 3;   ///< INT / scalar-FP / branch ports
+};
+
+/// A complete simulated CPU: one core plus its private memory backend.
+struct CpuConfig {
+  CoreParams core;
+  MemParams mem;
+  BackendSpec backend;
+
+  /// Human-readable name used in reports ("thunderx2", "sampled-001", ...).
+  std::string name = "unnamed";
+};
+
+/// Identifier for each of the 30 variable features. The order defines the ML
+/// feature-vector layout and is shared by the campaign CSV schema.
+enum class ParamId : int {
+  kVectorLength = 0,
+  kFetchBlockSize,
+  kLoopBufferSize,
+  kGpRegisters,
+  kFpRegisters,
+  kPredRegisters,
+  kCondRegisters,
+  kCommitWidth,
+  kFrontendWidth,
+  kLsqCompletionWidth,
+  kRobSize,
+  kLoadQueueSize,
+  kStoreQueueSize,
+  kLoadBandwidth,
+  kStoreBandwidth,
+  kMemRequestsPerCycle,
+  kMemLoadsPerCycle,
+  kMemStoresPerCycle,
+  kCacheLineWidth,
+  kL1Size,
+  kL1Latency,
+  kL1Clock,
+  kL1Assoc,
+  kL2Size,
+  kL2Latency,
+  kL2Clock,
+  kL2Assoc,
+  kRamLatency,
+  kRamClock,
+  kPrefetchDistance,
+};
+
+/// Short machine-friendly name (CSV column, figure label) for a parameter.
+const std::string& param_name(ParamId id);
+
+/// Inverse of param_name; throws on unknown names.
+ParamId param_from_name(const std::string& name);
+
+/// Flattens a configuration into the 30-feature vector (ParamId order).
+std::array<double, kNumParams> feature_vector(const CpuConfig& config);
+
+/// Rebuilds a configuration from a feature vector (inverse of the above).
+CpuConfig config_from_features(const std::array<double, kNumParams>& features);
+
+/// Validates every range plus the cross-parameter constraints of §V-A
+/// (load/store bandwidth can hold a full vector; L2 larger and slower than
+/// L1). Throws InvariantError describing the first violation.
+void validate(const CpuConfig& config);
+
+/// True if `validate` would pass.
+bool is_valid(const CpuConfig& config);
+
+}  // namespace adse::config

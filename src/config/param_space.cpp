@@ -1,0 +1,169 @@
+#include "config/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace adse::config {
+
+std::vector<double> ParamSpec::values() const {
+  ADSE_REQUIRE_MSG(kind != StepKind::kReal,
+                   "values() on continuous parameter '" << name << "'");
+  std::vector<double> out;
+  if (extra_floor) out.push_back(*extra_floor);
+  if (kind == StepKind::kPow2) {
+    for (double v = min; v <= max; v *= 2) out.push_back(v);
+  } else {
+    for (double v = min; v <= max + 1e-9; v += step) out.push_back(v);
+  }
+  return out;
+}
+
+double ParamSpec::sample(Rng& rng, std::optional<double> raised_min) const {
+  const double lo = raised_min ? std::max(min, *raised_min) : min;
+  ADSE_REQUIRE_MSG(lo <= max, "raised lower bound " << lo << " above max "
+                                                    << max << " for '" << name
+                                                    << "'");
+  if (kind == StepKind::kReal) {
+    return rng.uniform_real(lo, max);
+  }
+  std::vector<double> candidates;
+  for (double v : values()) {
+    if (v >= lo) candidates.push_back(v);
+  }
+  ADSE_REQUIRE_MSG(!candidates.empty(),
+                   "no values >= " << lo << " for '" << name << "'");
+  return candidates[rng.index(candidates.size())];
+}
+
+bool ParamSpec::contains(double v) const {
+  if (kind == StepKind::kReal) return v >= min && v <= max;
+  for (double x : values()) {
+    if (std::abs(x - v) < 1e-9) return true;
+  }
+  return false;
+}
+
+ParameterSpace::ParameterSpace() {
+  auto pow2 = [](ParamId id, double lo, double hi) {
+    return ParamSpec{id, param_name(id), lo, hi, 0, StepKind::kPow2, {}};
+  };
+  auto lin = [](ParamId id, double lo, double hi, double step,
+                std::optional<double> extra = std::nullopt) {
+    return ParamSpec{id, param_name(id), lo, hi, step, StepKind::kLinear, extra};
+  };
+  auto real = [](ParamId id, double lo, double hi) {
+    return ParamSpec{id, param_name(id), lo, hi, 0, StepKind::kReal, {}};
+  };
+
+  specs_ = {
+      // Table II — core parameters.
+      pow2(ParamId::kVectorLength, 128, 2048),
+      pow2(ParamId::kFetchBlockSize, 4, 2048),
+      lin(ParamId::kLoopBufferSize, 1, 512, 1),
+      lin(ParamId::kGpRegisters, 40, 512, 8, 38.0),
+      lin(ParamId::kFpRegisters, 40, 512, 8, 38.0),
+      lin(ParamId::kPredRegisters, 24, 512, 8),
+      lin(ParamId::kCondRegisters, 8, 512, 8),
+      lin(ParamId::kCommitWidth, 1, 64, 1),
+      lin(ParamId::kFrontendWidth, 1, 64, 1),
+      lin(ParamId::kLsqCompletionWidth, 1, 64, 1),
+      lin(ParamId::kRobSize, 8, 512, 4),
+      lin(ParamId::kLoadQueueSize, 4, 512, 4),
+      lin(ParamId::kStoreQueueSize, 4, 512, 4),
+      pow2(ParamId::kLoadBandwidth, 16, 1024),
+      pow2(ParamId::kStoreBandwidth, 16, 1024),
+      lin(ParamId::kMemRequestsPerCycle, 1, 32, 1),
+      lin(ParamId::kMemLoadsPerCycle, 1, 32, 1),
+      lin(ParamId::kMemStoresPerCycle, 1, 32, 1),
+      // Table III — memory backend parameters.
+      pow2(ParamId::kCacheLineWidth, 32, 256),
+      pow2(ParamId::kL1Size, 4, 128),
+      lin(ParamId::kL1Latency, 1, 8, 1),
+      real(ParamId::kL1Clock, 1.0, 4.0),
+      pow2(ParamId::kL1Assoc, 1, 16),
+      pow2(ParamId::kL2Size, 64, 8192),
+      lin(ParamId::kL2Latency, 4, 64, 1),
+      real(ParamId::kL2Clock, 0.5, 4.0),
+      pow2(ParamId::kL2Assoc, 1, 16),
+      real(ParamId::kRamLatency, 60.0, 200.0),
+      real(ParamId::kRamClock, 0.8, 3.2),
+      lin(ParamId::kPrefetchDistance, 0, 16, 1),
+  };
+  ADSE_REQUIRE(specs_.size() == kNumParams);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    ADSE_REQUIRE(static_cast<std::size_t>(specs_[i].id) == i);
+  }
+}
+
+const ParamSpec& ParameterSpace::spec(ParamId id) const {
+  return specs_[static_cast<std::size_t>(id)];
+}
+
+CpuConfig ParameterSpace::sample(Rng& rng,
+                                 const SampleConstraints& constraints) const {
+  std::array<double, kNumParams> f{};
+  auto draw = [&](ParamId id, std::optional<double> raised = std::nullopt) {
+    f[static_cast<std::size_t>(id)] = spec(id).sample(rng, raised);
+  };
+
+  if (constraints.fixed_vector_length) {
+    const double vl = *constraints.fixed_vector_length;
+    ADSE_REQUIRE_MSG(spec(ParamId::kVectorLength).contains(vl),
+                     "fixed vector length " << vl << " outside range");
+    f[static_cast<std::size_t>(ParamId::kVectorLength)] = vl;
+  } else {
+    draw(ParamId::kVectorLength);
+  }
+  const double vl_bytes = f[static_cast<std::size_t>(ParamId::kVectorLength)] / 8.0;
+
+  draw(ParamId::kFetchBlockSize);
+  draw(ParamId::kLoopBufferSize);
+  draw(ParamId::kGpRegisters);
+  draw(ParamId::kFpRegisters);
+  draw(ParamId::kPredRegisters);
+  draw(ParamId::kCondRegisters);
+  draw(ParamId::kCommitWidth);
+  draw(ParamId::kFrontendWidth);
+  draw(ParamId::kLsqCompletionWidth);
+  draw(ParamId::kRobSize);
+  draw(ParamId::kLoadQueueSize);
+  draw(ParamId::kStoreQueueSize);
+  // §V-A dependent bounds: bandwidth must cover at least one full vector.
+  draw(ParamId::kLoadBandwidth, vl_bytes);
+  draw(ParamId::kStoreBandwidth, vl_bytes);
+  draw(ParamId::kMemRequestsPerCycle);
+  draw(ParamId::kMemLoadsPerCycle);
+  draw(ParamId::kMemStoresPerCycle);
+
+  draw(ParamId::kCacheLineWidth);
+  draw(ParamId::kL1Size);
+  draw(ParamId::kL1Latency);
+  draw(ParamId::kL1Clock);
+  draw(ParamId::kL1Assoc);
+  // §V-A dependent bounds: L2 strictly larger and slower than L1.
+  draw(ParamId::kL2Size, f[static_cast<std::size_t>(ParamId::kL1Size)] * 2);
+  draw(ParamId::kL2Latency,
+       f[static_cast<std::size_t>(ParamId::kL1Latency)] + 1);
+  draw(ParamId::kL2Clock);
+  draw(ParamId::kL2Assoc);
+  draw(ParamId::kRamLatency);
+  draw(ParamId::kRamClock);
+  draw(ParamId::kPrefetchDistance);
+
+  // A tiny L1 with a wide line and high associativity can be geometrically
+  // impossible (capacity < one set). Resample associativity downwards.
+  while (f[static_cast<std::size_t>(ParamId::kL1Size)] * 1024.0 <
+         f[static_cast<std::size_t>(ParamId::kCacheLineWidth)] *
+             f[static_cast<std::size_t>(ParamId::kL1Assoc)]) {
+    f[static_cast<std::size_t>(ParamId::kL1Assoc)] /= 2;
+  }
+
+  CpuConfig config = config_from_features(f);
+  config.name = "sampled";
+  validate(config);
+  return config;
+}
+
+}  // namespace adse::config

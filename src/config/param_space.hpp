@@ -1,0 +1,73 @@
+#pragma once
+/// \file param_space.hpp
+/// The design space of Tables II & III: per-parameter ranges/steps plus a
+/// constraint-aware uniform sampler. Sampling semantics follow §V-A: every
+/// parameter is drawn independently and uniformly over its discrete (or
+/// continuous) range, except the dependent lower bounds on load/store
+/// bandwidth (>= one full vector) and L2 size/latency (> L1).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/cpu_config.hpp"
+
+namespace adse::config {
+
+/// How a parameter's range is stepped.
+enum class StepKind {
+  kPow2,    ///< powers of two in [min, max]
+  kLinear,  ///< min, min+step, ..., max (plus an optional extra floor value)
+  kReal,    ///< continuous uniform in [min, max]
+};
+
+/// Metadata describing one searchable parameter.
+struct ParamSpec {
+  ParamId id;
+  std::string name;    ///< same string as param_name(id)
+  double min = 0;
+  double max = 0;
+  double step = 1;             ///< for kLinear
+  StepKind kind = StepKind::kLinear;
+  /// Optional extra value below the stepped range (e.g. GP/FP registers use
+  /// "38, then steps of 8 starting from 40" per Table II).
+  std::optional<double> extra_floor;
+
+  /// All discrete values of the range (throws for kReal).
+  std::vector<double> values() const;
+
+  /// Uniform draw from the range, honouring an optional raised lower bound
+  /// (used for dependent constraints). The raised bound is clamped into the
+  /// range; the draw is uniform over the remaining values.
+  double sample(Rng& rng, std::optional<double> raised_min = std::nullopt) const;
+
+  /// True if `v` is a member of this parameter's range.
+  bool contains(double v) const;
+};
+
+/// Extra conditions applied when sampling a configuration.
+struct SampleConstraints {
+  /// Pin the vector length (used for the Fig. 4/5 constrained campaigns).
+  std::optional<int> fixed_vector_length;
+};
+
+/// The full 30-dimensional search space.
+class ParameterSpace {
+ public:
+  ParameterSpace();
+
+  /// Spec for one parameter.
+  const ParamSpec& spec(ParamId id) const;
+
+  /// All 30 specs in ParamId order.
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Draws one valid configuration. Always satisfies validate().
+  CpuConfig sample(Rng& rng, const SampleConstraints& constraints = {}) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace adse::config

@@ -1,0 +1,104 @@
+#include "config/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/strings.hpp"
+
+namespace adse::config {
+
+namespace {
+
+/// The 30 parameters are serialised via the shared feature-vector layout so
+/// the YAML schema can never drift from the CSV/ML schema.
+constexpr std::size_t kCoreParamCount = 18;  // ParamId 0..17 live under core:
+
+bool is_core_param(std::size_t idx) { return idx < kCoreParamCount; }
+
+std::string format_value(double v) {
+  // Integral parameters print without a decimal point.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_yaml(const CpuConfig& config) {
+  const auto f = feature_vector(config);
+  std::ostringstream os;
+  os << "# arch-dse CPU configuration (SimEng-style core + SST-style memory)\n";
+  os << "name: " << config.name << '\n';
+  os << "core:\n";
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    if (i == kCoreParamCount) os << "memory:\n";
+    os << "  " << param_name(static_cast<ParamId>(i)) << ": "
+       << format_value(f[i]) << '\n';
+  }
+  return os.str();
+}
+
+CpuConfig config_from_yaml(const std::string& yaml) {
+  std::array<double, kNumParams> f = feature_vector(CpuConfig{});
+  std::string name = "unnamed";
+  std::istringstream is(yaml);
+  std::string line;
+  std::string section;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    const auto colon = trimmed.find(':');
+    ADSE_REQUIRE_MSG(colon != std::string_view::npos,
+                     "malformed YAML line: '" << std::string(trimmed) << "'");
+    const std::string key{trim(trimmed.substr(0, colon))};
+    const std::string value{trim(trimmed.substr(colon + 1))};
+
+    if (value.empty()) {
+      ADSE_REQUIRE_MSG(key == "core" || key == "memory",
+                       "unknown YAML section '" << key << "'");
+      section = key;
+      continue;
+    }
+    if (key == "name") {
+      name = value;
+      continue;
+    }
+    const ParamId id = param_from_name(key);
+    const auto idx = static_cast<std::size_t>(id);
+    const bool in_core = is_core_param(idx);
+    ADSE_REQUIRE_MSG((in_core && section == "core") ||
+                         (!in_core && section == "memory"),
+                     "parameter '" << key << "' in wrong section '" << section
+                                   << "'");
+    f[idx] = parse_double(value);
+  }
+  CpuConfig config = config_from_features(f);
+  config.name = name;
+  validate(config);
+  return config;
+}
+
+void save_yaml(const std::string& path, const CpuConfig& config) {
+  std::ofstream out(path, std::ios::trunc);
+  ADSE_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << to_yaml(config);
+  out.flush();
+  ADSE_REQUIRE_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+CpuConfig load_yaml(const std::string& path) {
+  std::ifstream in(path);
+  ADSE_REQUIRE_MSG(in.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return config_from_yaml(buffer.str());
+}
+
+}  // namespace adse::config

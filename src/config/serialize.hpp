@@ -1,0 +1,28 @@
+#pragma once
+/// \file serialize.hpp
+/// YAML-style serialisation of CPU configurations, mirroring the SimEng YAML
+/// config + SST Python-dict workflow the paper's artifact automates (§III:
+/// "automated generation of the core's configuration file as well as the SST
+/// memory model file"). The emitted document round-trips through
+/// config_from_yaml.
+
+#include <string>
+
+#include "config/cpu_config.hpp"
+
+namespace adse::config {
+
+/// Renders a configuration as a two-section YAML document
+/// (`core:` / `memory:`) with one `key: value` line per parameter.
+std::string to_yaml(const CpuConfig& config);
+
+/// Parses a document produced by to_yaml (flat two-level YAML subset:
+/// sections, `key: value` scalars, '#' comments). Unknown keys throw;
+/// missing keys keep their default values. The result is validated.
+CpuConfig config_from_yaml(const std::string& yaml);
+
+/// Convenience file wrappers.
+void save_yaml(const std::string& path, const CpuConfig& config);
+CpuConfig load_yaml(const std::string& path);
+
+}  // namespace adse::config

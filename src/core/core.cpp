@@ -1,0 +1,477 @@
+#include "core/core.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/require.hpp"
+#include "isa/ports.hpp"
+
+namespace adse::core {
+
+namespace {
+
+bool ranges_overlap(std::uint64_t a, std::uint32_t a_size, std::uint64_t b,
+                    std::uint32_t b_size) {
+  return a < b + b_size && b < a + a_size;
+}
+
+}  // namespace
+
+Core::Core(const config::CpuConfig& config, mem::MemoryHierarchy& hierarchy,
+           const CoreFidelity& fidelity)
+    : config_(config), fidelity_(fidelity), hierarchy_(hierarchy),
+      ports_(config.backend.ls_ports, config.backend.vec_ports,
+             config.backend.pred_ports, config.backend.mix_ports),
+      regs_(config.core) {
+  config::validate(config_);
+  rob_.resize(static_cast<std::size_t>(config_.core.rob_size));
+  rs_.resize(static_cast<std::size_t>(config_.backend.reservation_station_size));
+  lq_.resize(static_cast<std::size_t>(config_.core.load_queue_size));
+  sq_.resize(static_cast<std::size_t>(config_.core.store_queue_size));
+  feq_.resize(static_cast<std::size_t>(
+      std::max(16, 2 * std::max(config_.core.frontend_width,
+                                config_.backend.dispatch_width))));
+  exec_buckets_.resize(kBucketCount);
+  issue_candidates_.reserve(rs_.size());
+}
+
+bool Core::finished(const isa::Program& program) const {
+  return fetch_cursor_ >= program.ops.size() && rob_count_ == 0 &&
+         feq_count_ == 0;
+}
+
+void Core::complete_rob_entry(std::uint32_t rob_slot) {
+  RobEntry& e = rob_[rob_slot];
+  ADSE_REQUIRE_MSG(e.state == RobState::kIssued, "completing unissued op");
+  e.state = RobState::kCompleted;
+  if (e.dest_cls != isa::RegClass::kNone) {
+    regs_.set_ready(e.dest_cls, e.dest_phys);
+  }
+  if (e.lsq_index >= 0) {
+    LsqEntry& l = (e.op->group == isa::InstrGroup::kLoad)
+                      ? lq_[static_cast<std::size_t>(e.lsq_index)]
+                      : sq_[static_cast<std::size_t>(e.lsq_index)];
+    l.state = LsqState::kDone;
+  }
+  activity_ = true;
+}
+
+void Core::stage_commit() {
+  int committed = 0;
+  while (committed < config_.core.commit_width && rob_count_ > 0) {
+    RobEntry& e = rob_[rob_head_];
+    if (e.state != RobState::kCompleted) break;
+    if (e.dest_cls != isa::RegClass::kNone && e.prev_phys >= 0) {
+      regs_.release(e.dest_cls, e.prev_phys);
+    }
+    if (e.lsq_index >= 0) {
+      if (e.op->group == isa::InstrGroup::kLoad) {
+        ADSE_REQUIRE(static_cast<std::uint32_t>(e.lsq_index) == lq_head_);
+        lq_[lq_head_].valid = false;
+        lq_head_ = (lq_head_ + 1) % static_cast<std::uint32_t>(lq_.size());
+        lq_count_--;
+      } else {
+        ADSE_REQUIRE(static_cast<std::uint32_t>(e.lsq_index) == sq_head_);
+        sq_[sq_head_].valid = false;
+        sq_head_ = (sq_head_ + 1) % static_cast<std::uint32_t>(sq_.size());
+        sq_count_--;
+      }
+    }
+    stats_.retired++;
+    stats_.retired_by_group[static_cast<int>(e.op->group)]++;
+    if (e.op->is_sve()) stats_.retired_sve++;
+    rob_head_ = (rob_head_ + 1) % static_cast<std::uint32_t>(rob_.size());
+    rob_count_--;
+    committed++;
+  }
+  if (committed > 0) activity_ = true;
+}
+
+void Core::stage_complete() {
+  // ALU / AGU completions for this cycle.
+  auto& bucket = exec_buckets_[cycle_ % kBucketCount];
+  for (const ExecDone& done : bucket) {
+    pending_exec_--;
+    if (done.is_mem_agu) {
+      RobEntry& e = rob_[done.rob_slot];
+      LsqEntry& l = (e.op->group == isa::InstrGroup::kLoad)
+                        ? lq_[static_cast<std::size_t>(e.lsq_index)]
+                        : sq_[static_cast<std::size_t>(e.lsq_index)];
+      l.state = LsqState::kReadyToSend;
+      activity_ = true;
+    } else {
+      complete_rob_entry(done.rob_slot);
+    }
+  }
+  bucket.clear();
+
+  // Memory responses drain through the LSQ completion pipeline.
+  int drained = 0;
+  while (!mem_done_.empty() && mem_done_.top().ready <= cycle_ &&
+         drained < config_.core.lsq_completion_width) {
+    complete_rob_entry(mem_done_.top().rob_slot);
+    mem_done_.pop();
+    drained++;
+  }
+}
+
+void Core::stage_mem_send() {
+  int requests = 0;
+  int loads = 0;
+  int stores = 0;
+  int load_budget = config_.core.load_bandwidth_bytes;
+  int store_budget = config_.core.store_bandwidth_bytes;
+  bool loads_blocked = false;   // in-order per queue
+  bool stores_blocked = false;
+
+  // Walk both queues in merged program order.
+  std::uint32_t li = 0, si = 0;
+  while (requests < config_.core.mem_requests_per_cycle) {
+    LsqEntry* load = nullptr;
+    LsqEntry* store = nullptr;
+    for (; li < lq_count_; ++li) {
+      LsqEntry& e = lq_[(lq_head_ + li) % lq_.size()];
+      if (e.state == LsqState::kReadyToSend) {
+        load = &e;
+        break;
+      }
+    }
+    for (; si < sq_count_; ++si) {
+      LsqEntry& e = sq_[(sq_head_ + si) % sq_.size()];
+      if (e.state == LsqState::kReadyToSend) {
+        store = &e;
+        break;
+      }
+    }
+    if (loads_blocked) load = nullptr;
+    if (stores_blocked) store = nullptr;
+    if (load == nullptr && store == nullptr) break;
+
+    const bool pick_load =
+        store == nullptr || (load != nullptr && load->seq < store->seq);
+    if (pick_load) {
+      // Store->load dependency: the youngest older overlapping store decides.
+      LsqEntry* dep = nullptr;
+      for (std::uint32_t s = 0; s < sq_count_; ++s) {
+        LsqEntry& st = sq_[(sq_head_ + s) % sq_.size()];
+        if (!st.valid || st.seq >= load->seq) continue;
+        if (!ranges_overlap(load->addr, load->size, st.addr, st.size)) continue;
+        if (dep == nullptr || st.seq > dep->seq) dep = &st;
+      }
+      if (dep != nullptr && dep->state == LsqState::kWaitAgu) {
+        // Data not produced yet; the load (and younger loads) wait.
+        loads_blocked = true;
+        continue;
+      }
+      if (dep != nullptr) {
+        // Forward from the store buffer: no memory traffic; the result still
+        // drains through the LSQ completion pipe next cycle.
+        load->state = LsqState::kInFlight;
+        mem_done_.push(MemDone{
+            cycle_ + static_cast<std::uint64_t>(fidelity_.forward_latency),
+            load->rob_slot});
+        stats_.loads_forwarded++;
+        activity_ = true;
+        li++;
+        continue;  // forwarding does not consume a memory request slot
+      }
+      if (loads >= config_.core.mem_loads_per_cycle ||
+          load_budget < static_cast<int>(load->size)) {
+        loads_blocked = true;
+        mem_send_capped_ = true;
+        continue;
+      }
+      const auto result =
+          hierarchy_.access(load->addr, load->size, /*is_store=*/false, cycle_);
+      load->state = LsqState::kInFlight;
+      mem_done_.push(MemDone{result.ready_cycle, load->rob_slot});
+      stats_.loads_sent++;
+      loads++;
+      requests++;
+      load_budget -= static_cast<int>(load->size);
+      activity_ = true;
+      li++;
+    } else {
+      if (stores >= config_.core.mem_stores_per_cycle ||
+          store_budget < static_cast<int>(store->size)) {
+        stores_blocked = true;
+        mem_send_capped_ = true;
+        continue;
+      }
+      const auto result =
+          hierarchy_.access(store->addr, store->size, /*is_store=*/true, cycle_);
+      store->state = LsqState::kInFlight;
+      mem_done_.push(MemDone{result.ready_cycle, store->rob_slot});
+      stats_.stores_sent++;
+      stores++;
+      requests++;
+      store_budget -= static_cast<int>(store->size);
+      activity_ = true;
+      si++;
+    }
+    if (loads_blocked && stores_blocked) break;
+  }
+  if (requests >= config_.core.mem_requests_per_cycle) {
+    // Did anything else want to go? If so, note the cap for event skipping.
+    mem_send_capped_ = true;
+  }
+}
+
+bool Core::rs_sources_ready(const RsEntry& e) const {
+  for (int s = 0; s < 3; ++s) {
+    if (e.src_cls[s] == isa::RegClass::kNone) continue;
+    if (!regs_.ready(e.src_cls[s], e.src_phys[s])) return false;
+  }
+  return true;
+}
+
+void Core::stage_issue() {
+  issue_candidates_.clear();
+  for (std::uint32_t i = 0; i < rs_.size(); ++i) {
+    if (rs_[i].valid && rs_sources_ready(rs_[i])) issue_candidates_.push_back(i);
+  }
+  if (issue_candidates_.empty()) return;
+  std::sort(issue_candidates_.begin(), issue_candidates_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return rs_[a].seq < rs_[b].seq;
+            });
+
+  bool port_used[64] = {};
+  for (std::uint32_t idx : issue_candidates_) {
+    RsEntry& e = rs_[idx];
+    int port = -1;
+    for (std::uint8_t p : ports_.ports_for(e.group)) {
+      if (!port_used[p]) {
+        port = p;
+        break;
+      }
+    }
+    if (port < 0) continue;
+    port_used[port] = true;
+
+    RobEntry& rob = rob_[e.rob_slot];
+    rob.state = RobState::kIssued;
+    const bool is_mem = rob.op->is_memory();
+    const int latency = isa::execution_latency(e.group);
+    exec_buckets_[(cycle_ + static_cast<std::uint64_t>(latency)) % kBucketCount]
+        .push_back(ExecDone{e.rob_slot, is_mem});
+    pending_exec_++;
+
+    if (e.group == isa::InstrGroup::kBranch) {
+      bool mispredicted = false;
+      if (fidelity_.mispredict_interval > 0) {
+        branch_counter_++;
+        mispredicted = branch_counter_ %
+                           static_cast<std::uint64_t>(
+                               fidelity_.mispredict_interval) ==
+                       0;
+      }
+      if (fidelity_.mispredict_loop_exits &&
+          (rob.op->flags & isa::kFlagLoopExit) != 0) {
+        mispredicted = true;
+      }
+      if (mispredicted) {
+        frontend_flush_until_ = std::max(
+            frontend_flush_until_,
+            cycle_ + static_cast<std::uint64_t>(fidelity_.mispredict_penalty));
+      }
+    }
+
+    e.valid = false;
+    rs_count_--;
+    activity_ = true;
+  }
+}
+
+void Core::stage_dispatch() {
+  int dispatched = 0;
+  while (dispatched < config_.backend.dispatch_width && feq_count_ > 0) {
+    const FrontendOp& f = feq_[feq_head_];
+    const bool is_load = f.op->group == isa::InstrGroup::kLoad;
+    const bool is_store = f.op->group == isa::InstrGroup::kStore;
+
+    if (rob_count_ >= rob_.size()) {
+      if (dispatched == 0) stats_.stall_rob_full++;
+      break;
+    }
+    if (rs_count_ >= static_cast<int>(rs_.size())) {
+      if (dispatched == 0) stats_.stall_rs_full++;
+      break;
+    }
+    if (is_load && lq_count_ >= lq_.size()) {
+      if (dispatched == 0) stats_.stall_lq_full++;
+      break;
+    }
+    if (is_store && sq_count_ >= sq_.size()) {
+      if (dispatched == 0) stats_.stall_sq_full++;
+      break;
+    }
+
+    const std::uint32_t rob_slot =
+        (rob_head_ + rob_count_) % static_cast<std::uint32_t>(rob_.size());
+    RobEntry& rob = rob_[rob_slot];
+    rob.op = f.op;
+    rob.state = RobState::kWaiting;
+    rob.dest_cls = f.dest_cls;
+    rob.dest_phys = f.dest_phys;
+    rob.prev_phys = f.prev_phys;
+    rob.lsq_index = -1;
+    rob.seq = seq_++;
+    rob_count_++;
+
+    if (is_load || is_store) {
+      auto& queue = is_load ? lq_ : sq_;
+      auto head = is_load ? lq_head_ : sq_head_;
+      auto count = is_load ? lq_count_ : sq_count_;
+      const std::uint32_t slot =
+          (head + count) % static_cast<std::uint32_t>(queue.size());
+      LsqEntry& l = queue[slot];
+      l.valid = true;
+      l.state = LsqState::kWaitAgu;
+      l.addr = f.op->mem_addr;
+      l.size = f.op->mem_size_bytes;
+      l.rob_slot = rob_slot;
+      l.seq = rob.seq;
+      rob.lsq_index = static_cast<std::int32_t>(slot);
+      if (is_load) {
+        lq_count_++;
+      } else {
+        sq_count_++;
+      }
+    }
+
+    // Reservation-station slot (first free entry).
+    for (std::uint32_t i = 0; i < rs_.size(); ++i) {
+      if (!rs_[i].valid) {
+        RsEntry& e = rs_[i];
+        e.valid = true;
+        e.rob_slot = rob_slot;
+        e.seq = rob.seq;
+        e.group = f.op->group;
+        for (int s = 0; s < 3; ++s) {
+          e.src_cls[s] = f.src_cls[s];
+          e.src_phys[s] = f.src_phys[s];
+        }
+        rs_count_++;
+        break;
+      }
+    }
+
+    feq_head_ = (feq_head_ + 1) % static_cast<std::uint32_t>(feq_.size());
+    feq_count_--;
+    dispatched++;
+    activity_ = true;
+  }
+}
+
+void Core::stage_frontend(const isa::Program& program) {
+  if (cycle_ < frontend_flush_until_) return;
+  int bytes = config_.core.fetch_block_bytes;
+  int slots = config_.core.frontend_width;
+
+  while (slots > 0 && fetch_cursor_ < program.ops.size() &&
+         feq_count_ < feq_.size()) {
+    const isa::MicroOp& op = program.ops[fetch_cursor_];
+    const bool from_loop_buffer =
+        op.loop_body_size > 0 &&
+        op.loop_body_size <= config_.core.loop_buffer_size &&
+        (op.flags & isa::kFlagFirstLoopIteration) == 0;
+
+    if (!from_loop_buffer) {
+      if (bytes < static_cast<int>(isa::kInstrBytes)) {
+        stats_.stall_fetch_bytes++;  // fetch-block-limited this cycle
+        break;
+      }
+    }
+
+    // Rename: capture source mappings, then allocate the destination.
+    FrontendOp f;
+    f.op = &op;
+    for (int s = 0; s < 3; ++s) {
+      const isa::RegRef& src = op.srcs[static_cast<std::size_t>(s)];
+      if (src.valid()) {
+        f.src_cls[s] = src.cls;
+        f.src_phys[s] = regs_.mapping(src.cls, src.index);
+      }
+    }
+    if (op.dest.valid()) {
+      if (!regs_.can_allocate(op.dest.cls)) {
+        stats_.stall_no_phys[static_cast<int>(op.dest.cls)]++;
+        break;
+      }
+      const auto alloc = regs_.allocate(op.dest.cls, op.dest.index);
+      f.dest_cls = op.dest.cls;
+      f.dest_phys = alloc.phys;
+      f.prev_phys = alloc.prev;
+    }
+
+    if (!from_loop_buffer) {
+      bytes -= static_cast<int>(isa::kInstrBytes);
+    } else {
+      stats_.loop_buffer_ops++;
+    }
+
+    const std::uint32_t slot =
+        (feq_head_ + feq_count_) % static_cast<std::uint32_t>(feq_.size());
+    feq_[slot] = f;
+    feq_count_++;
+    fetch_cursor_++;
+    slots--;
+    activity_ = true;
+  }
+}
+
+std::uint64_t Core::next_event_cycle() const {
+  std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+  if (!mem_done_.empty()) next = std::min(next, mem_done_.top().ready);
+  if (pending_exec_ > 0) {
+    for (int d = 1; d < kBucketCount; ++d) {
+      if (!exec_buckets_[(cycle_ + static_cast<std::uint64_t>(d)) %
+                         kBucketCount]
+               .empty()) {
+        next = std::min(next, cycle_ + static_cast<std::uint64_t>(d));
+        break;
+      }
+    }
+  }
+  if (mem_send_capped_) next = std::min(next, cycle_ + 1);
+  if (frontend_flush_until_ > cycle_) next = std::min(next, frontend_flush_until_);
+  return next;
+}
+
+CoreStats Core::run(const isa::Program& program, std::uint64_t max_cycles) {
+  ADSE_REQUIRE_MSG(!program.ops.empty(), "empty program");
+  stats_ = CoreStats{};
+
+  while (!finished(program)) {
+    ADSE_REQUIRE_MSG(cycle_ < max_cycles,
+                     "simulation exceeded " << max_cycles << " cycles ("
+                                            << program.name << ")");
+    activity_ = false;
+    mem_send_capped_ = false;
+
+    stage_commit();
+    stage_complete();
+    stage_mem_send();
+    stage_issue();
+    stage_dispatch();
+    stage_frontend(program);
+
+    if (activity_) {
+      cycle_++;
+    } else {
+      const std::uint64_t next = next_event_cycle();
+      ADSE_REQUIRE_MSG(next != std::numeric_limits<std::uint64_t>::max(),
+                       "core deadlock at cycle "
+                           << cycle_ << " in '" << program.name << "' (rob="
+                           << rob_count_ << ", rs=" << rs_count_
+                           << ", feq=" << feq_count_ << ")");
+      cycle_ = std::max(cycle_ + 1, next);
+    }
+  }
+
+  stats_.cycles = cycle_;
+  return stats_;
+}
+
+}  // namespace adse::core

@@ -1,0 +1,197 @@
+#pragma once
+/// \file core.hpp
+/// The SimEng-substitute core model: a cycle-driven, trace-fed out-of-order
+/// superscalar pipeline.
+///
+/// Pipeline (per simulated cycle, processed back to front so same-cycle
+/// structural hazards resolve like a real pipeline):
+///
+///   COMMIT    — in order, up to commit_width completed ROB entries; frees
+///               previous register mappings and LQ/SQ entries.
+///   COMPLETE  — memory responses drain through the LSQ completion pipe
+///               (lsq_completion_width per cycle); ALU results complete from
+///               the execution buckets; destinations wake RS consumers.
+///   MEM SEND  — ready loads/stores go to the memory hierarchy subject to
+///               Table II's per-cycle request/load/store caps and load/store
+///               bandwidth (bytes per cycle); loads check older stores for
+///               forwarding or conflicts first.
+///   ISSUE     — oldest-first from the unified 60-entry reservation station
+///               onto the 9 fixed ports (3 L/S, 2 SVE, 1 predicate, 3 mixed).
+///   DISPATCH  — up to 4 µops/cycle (fixed, §V-A) from the frontend queue
+///               into ROB + RS (+ LQ/SQ for memory ops).
+///   FRONTEND  — fetch/decode/rename up to frontend_width µops, bounded by
+///               the fetch block (bytes/cycle) unless streaming from the
+///               loop buffer; renaming stalls when a physical register file
+///               is exhausted.
+///
+/// Branches are trace-driven (perfectly predicted); the hardware-proxy layer
+/// adds mispredict penalties. An event-skip fast-forwards idle cycles so
+/// memory-latency-bound regions simulate quickly without changing counts.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "core/core_stats.hpp"
+#include "core/register_files.hpp"
+#include "isa/ports.hpp"
+#include "isa/program.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace adse::core {
+
+/// Extra effects for hardware-proxy fidelity (see sim/hardware_proxy).
+struct CoreFidelity {
+  /// Every `mispredict_interval`-th branch flushes the frontend for
+  /// `mispredict_penalty` cycles (deterministic, reproducible). 0 = off.
+  int mispredict_interval = 0;
+  int mispredict_penalty = 12;
+  /// Mispredict every loop-exit branch (how real predictors actually miss on
+  /// loop-heavy HPC codes) instead of, or in addition to, the fixed interval.
+  bool mispredict_loop_exits = false;
+  /// Store->load forwarding latency in cycles. The campaign simulator uses
+  /// the idealised 1 cycle (as SimEng's LSQ effectively does); real cores
+  /// pay ~10 cycles, which the hardware proxy models.
+  int forward_latency = 1;
+};
+
+class Core {
+ public:
+  /// `hierarchy` must outlive the core. The configuration is validated.
+  Core(const config::CpuConfig& config, mem::MemoryHierarchy& hierarchy,
+       const CoreFidelity& fidelity = {});
+
+  /// Runs `program` to completion and returns the statistics. Throws if the
+  /// simulation exceeds `max_cycles` (guards against model deadlock).
+  CoreStats run(const isa::Program& program,
+                std::uint64_t max_cycles = 2'000'000'000ULL);
+
+ private:
+  // ---- in-flight bookkeeping ----------------------------------------------
+  enum class RobState : std::uint8_t { kWaiting, kIssued, kCompleted };
+
+  struct RobEntry {
+    const isa::MicroOp* op = nullptr;
+    RobState state = RobState::kWaiting;
+    isa::RegClass dest_cls = isa::RegClass::kNone;
+    std::int32_t dest_phys = -1;
+    std::int32_t prev_phys = -1;
+    std::int32_t lsq_index = -1;  ///< LQ or SQ slot for memory ops
+    std::uint64_t seq = 0;        ///< global program-order sequence number
+  };
+
+  struct RsEntry {
+    bool valid = false;
+    std::uint32_t rob_slot = 0;
+    std::uint64_t seq = 0;
+    isa::InstrGroup group = isa::InstrGroup::kInt;
+    isa::RegClass src_cls[3] = {isa::RegClass::kNone, isa::RegClass::kNone,
+                                isa::RegClass::kNone};
+    std::int32_t src_phys[3] = {-1, -1, -1};
+  };
+
+  enum class LsqState : std::uint8_t {
+    kWaitAgu,     ///< operands not yet issued/executed
+    kReadyToSend, ///< address (and data, for stores) known
+    kInFlight,    ///< request sent to the hierarchy
+    kDone,
+  };
+
+  struct LsqEntry {
+    bool valid = false;
+    LsqState state = LsqState::kWaitAgu;
+    std::uint64_t addr = 0;
+    std::uint32_t size = 0;
+    std::uint32_t rob_slot = 0;
+    std::uint64_t seq = 0;
+  };
+
+  struct FrontendOp {
+    const isa::MicroOp* op = nullptr;
+    isa::RegClass dest_cls = isa::RegClass::kNone;
+    std::int32_t dest_phys = -1;
+    std::int32_t prev_phys = -1;
+    isa::RegClass src_cls[3] = {isa::RegClass::kNone, isa::RegClass::kNone,
+                                isa::RegClass::kNone};
+    std::int32_t src_phys[3] = {-1, -1, -1};
+  };
+
+  /// Execution-bucket payload: what finishes when a latency expires.
+  struct ExecDone {
+    std::uint32_t rob_slot;
+    bool is_mem_agu;  ///< AGU completion (moves LSQ entry to kReadyToSend)
+  };
+
+  struct MemDone {
+    std::uint64_t ready = 0;
+    std::uint32_t rob_slot = 0;
+    bool operator>(const MemDone& o) const { return ready > o.ready; }
+  };
+
+  // ---- pipeline stages ------------------------------------------------------
+  void stage_commit();
+  void stage_complete();
+  void stage_mem_send();
+  void stage_issue();
+  void stage_dispatch();
+  void stage_frontend(const isa::Program& program);
+
+  void complete_rob_entry(std::uint32_t rob_slot);
+  bool rs_sources_ready(const RsEntry& e) const;
+  /// Returns true when all µops are fetched and the ROB is empty.
+  bool finished(const isa::Program& program) const;
+  /// Earliest future cycle at which anything can change (event skip).
+  std::uint64_t next_event_cycle() const;
+
+  // ---- configuration --------------------------------------------------------
+  config::CpuConfig config_;
+  CoreFidelity fidelity_;
+  mem::MemoryHierarchy& hierarchy_;
+  isa::PortLayout ports_;
+
+  // ---- dynamic state --------------------------------------------------------
+  RegisterFiles regs_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t fetch_cursor_ = 0;
+  bool activity_ = false;           ///< anything advanced this cycle
+  bool mem_send_capped_ = false;    ///< a sendable request hit a cap
+  std::uint64_t frontend_flush_until_ = 0;  ///< mispredict redirect (proxy)
+  std::uint64_t branch_counter_ = 0;
+
+  // ROB ring buffer.
+  std::vector<RobEntry> rob_;
+  std::uint32_t rob_head_ = 0;
+  std::uint32_t rob_count_ = 0;
+
+  // Unified reservation station.
+  std::vector<RsEntry> rs_;
+  int rs_count_ = 0;
+
+  // Load/store queues (ring buffers in program order).
+  std::vector<LsqEntry> lq_;
+  std::uint32_t lq_head_ = 0, lq_count_ = 0;
+  std::vector<LsqEntry> sq_;
+  std::uint32_t sq_head_ = 0, sq_count_ = 0;
+
+  // Frontend queue (post-rename, pre-dispatch).
+  std::vector<FrontendOp> feq_;
+  std::uint32_t feq_head_ = 0, feq_count_ = 0;
+
+  // Execution completion buckets (latencies are small constants).
+  static constexpr int kBucketCount = 32;
+  std::vector<std::vector<ExecDone>> exec_buckets_;
+  int pending_exec_ = 0;
+
+  // Memory completion min-heap.
+  std::priority_queue<MemDone, std::vector<MemDone>, std::greater<MemDone>>
+      mem_done_;
+
+  // Scratch for oldest-first issue selection.
+  std::vector<std::uint32_t> issue_candidates_;
+
+  CoreStats stats_;
+};
+
+}  // namespace adse::core

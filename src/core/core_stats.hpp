@@ -1,0 +1,45 @@
+#pragma once
+/// \file core_stats.hpp
+/// Cycle-level statistics returned by a core run: the simulator's equivalent
+/// of the statistics block SimEng prints on completion.
+
+#include <cstdint>
+
+#include "isa/microop.hpp"
+
+namespace adse::core {
+
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t retired_sve = 0;
+  std::uint64_t retired_by_group[isa::kNumInstrGroups] = {};
+
+  // Frontend stall attribution (cycles where the stage could not advance at
+  // least one µop for the given reason).
+  std::uint64_t stall_fetch_bytes = 0;   ///< fetch block exhausted
+  std::uint64_t stall_no_phys[isa::kNumRegClasses] = {};  ///< rename starved
+  std::uint64_t stall_rob_full = 0;
+  std::uint64_t stall_rs_full = 0;
+  std::uint64_t stall_lq_full = 0;
+  std::uint64_t stall_sq_full = 0;
+
+  // LSQ behaviour.
+  std::uint64_t loads_forwarded = 0;  ///< store->load forwards
+  std::uint64_t loads_sent = 0;
+  std::uint64_t stores_sent = 0;
+  std::uint64_t loop_buffer_ops = 0;  ///< µops streamed from the loop buffer
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(retired) / static_cast<double>(cycles);
+  }
+
+  double sve_fraction() const {
+    return retired == 0 ? 0.0
+                        : static_cast<double>(retired_sve) /
+                              static_cast<double>(retired);
+  }
+};
+
+}  // namespace adse::core

@@ -1,0 +1,100 @@
+#include "core/register_files.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::core {
+
+namespace {
+
+int arch_count(isa::RegClass cls) {
+  switch (cls) {
+    case isa::RegClass::kGp: return config::kArchGpRegs;
+    case isa::RegClass::kFp: return config::kArchFpRegs;
+    case isa::RegClass::kPred: return config::kArchPredRegs;
+    case isa::RegClass::kCond: return config::kArchCondRegs;
+    case isa::RegClass::kNone: break;
+  }
+  ADSE_REQUIRE_MSG(false, "arch_count of kNone");
+  return 0;
+}
+
+}  // namespace
+
+RegisterFiles::RegisterFiles(const config::CoreParams& params) {
+  const int phys_counts[isa::kNumRegClasses] = {
+      params.gp_phys_regs, params.fp_phys_regs, params.pred_phys_regs,
+      params.cond_phys_regs};
+  for (int c = 0; c < isa::kNumRegClasses; ++c) {
+    const auto cls = static_cast<isa::RegClass>(c);
+    const int arch = arch_count(cls);
+    const int phys = phys_counts[c];
+    ADSE_REQUIRE_MSG(phys > arch, "physical registers ("
+                                      << phys << ") must exceed architectural ("
+                                      << arch << ")");
+    ClassFile& f = files_[static_cast<std::size_t>(c)];
+    f.map.resize(static_cast<std::size_t>(arch));
+    f.ready_.assign(static_cast<std::size_t>(phys), 1);
+    for (int a = 0; a < arch; ++a) f.map[static_cast<std::size_t>(a)] = a;
+    f.free_.reserve(static_cast<std::size_t>(phys - arch));
+    for (int p = phys - 1; p >= arch; --p) f.free_.push_back(p);
+  }
+}
+
+const RegisterFiles::ClassFile& RegisterFiles::file(isa::RegClass cls) const {
+  const auto idx = static_cast<std::size_t>(cls);
+  ADSE_REQUIRE(idx < files_.size());
+  return files_[idx];
+}
+
+RegisterFiles::ClassFile& RegisterFiles::file(isa::RegClass cls) {
+  const auto idx = static_cast<std::size_t>(cls);
+  ADSE_REQUIRE(idx < files_.size());
+  return files_[idx];
+}
+
+bool RegisterFiles::can_allocate(isa::RegClass cls) const {
+  return !file(cls).free_.empty();
+}
+
+int RegisterFiles::free_count(isa::RegClass cls) const {
+  return static_cast<int>(file(cls).free_.size());
+}
+
+RegisterFiles::Alloc RegisterFiles::allocate(isa::RegClass cls, int arch) {
+  ClassFile& f = file(cls);
+  ADSE_REQUIRE_MSG(!f.free_.empty(), "allocate with empty free list");
+  ADSE_REQUIRE(arch >= 0 && static_cast<std::size_t>(arch) < f.map.size());
+  Alloc alloc;
+  alloc.phys = f.free_.back();
+  f.free_.pop_back();
+  alloc.prev = f.map[static_cast<std::size_t>(arch)];
+  f.map[static_cast<std::size_t>(arch)] = alloc.phys;
+  f.ready_[static_cast<std::size_t>(alloc.phys)] = 0;
+  return alloc;
+}
+
+std::int32_t RegisterFiles::mapping(isa::RegClass cls, int arch) const {
+  const ClassFile& f = file(cls);
+  ADSE_REQUIRE(arch >= 0 && static_cast<std::size_t>(arch) < f.map.size());
+  return f.map[static_cast<std::size_t>(arch)];
+}
+
+bool RegisterFiles::ready(isa::RegClass cls, std::int32_t phys) const {
+  const ClassFile& f = file(cls);
+  ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  return f.ready_[static_cast<std::size_t>(phys)] != 0;
+}
+
+void RegisterFiles::set_ready(isa::RegClass cls, std::int32_t phys) {
+  ClassFile& f = file(cls);
+  ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  f.ready_[static_cast<std::size_t>(phys)] = 1;
+}
+
+void RegisterFiles::release(isa::RegClass cls, std::int32_t phys) {
+  ClassFile& f = file(cls);
+  ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  f.free_.push_back(phys);
+}
+
+}  // namespace adse::core

@@ -1,0 +1,60 @@
+#pragma once
+/// \file register_files.hpp
+/// Physical register files with renaming for the four register classes of
+/// Table II (GP, FP/SVE, predicate, conditional). Register pressure is one of
+/// the paper's headline bottlenecks (Fig. 8: FP/SVE register knee ~144), so
+/// allocation/free semantics follow the standard merged-register-file scheme:
+/// a rename allocates the new mapping, and committing the op frees the
+/// *previous* mapping of its destination architectural register.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "isa/microop.hpp"
+
+namespace adse::core {
+
+class RegisterFiles {
+ public:
+  explicit RegisterFiles(const config::CoreParams& params);
+
+  /// True if a rename of a destination in `cls` can proceed.
+  bool can_allocate(isa::RegClass cls) const;
+
+  /// Free physical registers remaining in a class (diagnostics).
+  int free_count(isa::RegClass cls) const;
+
+  struct Alloc {
+    std::int32_t phys = -1;  ///< newly allocated physical register
+    std::int32_t prev = -1;  ///< previous mapping (freed when the op commits)
+  };
+
+  /// Renames a write of architectural register `arch` in `cls`. The new
+  /// register starts not-ready. Requires can_allocate(cls).
+  Alloc allocate(isa::RegClass cls, int arch);
+
+  /// Current speculative mapping of an architectural register (for sources).
+  std::int32_t mapping(isa::RegClass cls, int arch) const;
+
+  bool ready(isa::RegClass cls, std::int32_t phys) const;
+  void set_ready(isa::RegClass cls, std::int32_t phys);
+
+  /// Returns a physical register to the free list (prev mapping at commit).
+  void release(isa::RegClass cls, std::int32_t phys);
+
+ private:
+  struct ClassFile {
+    std::vector<std::int32_t> map;     // arch -> phys
+    std::vector<std::uint8_t> ready_;  // phys -> ready
+    std::vector<std::int32_t> free_;   // free-list stack
+  };
+
+  const ClassFile& file(isa::RegClass cls) const;
+  ClassFile& file(isa::RegClass cls);
+
+  std::array<ClassFile, isa::kNumRegClasses> files_;
+};
+
+}  // namespace adse::core

@@ -1,0 +1,56 @@
+#include "isa/microop.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::isa {
+
+bool MicroOp::is_sve() const {
+  if (group == InstrGroup::kPred) return true;
+  bool touches_z = dest.cls == RegClass::kFp;
+  for (const auto& s : srcs) touches_z = touches_z || s.cls == RegClass::kFp;
+  if (!touches_z) return false;
+  // Scalar FP also lives in the FP/SVE file; only vector-class ops and
+  // vector-width memory ops count as SVE instructions.
+  switch (group) {
+    case InstrGroup::kVec:
+      return true;
+    case InstrGroup::kLoad:
+    case InstrGroup::kStore:
+      return mem_size_bytes > 8;  // wider than one scalar double
+    default:
+      return false;
+  }
+}
+
+int execution_latency(InstrGroup group) {
+  switch (group) {
+    case InstrGroup::kInt: return 1;
+    case InstrGroup::kIntMul: return 3;
+    case InstrGroup::kFp: return 4;
+    case InstrGroup::kFpDiv: return 16;
+    case InstrGroup::kVec: return 4;
+    case InstrGroup::kPred: return 1;
+    case InstrGroup::kLoad: return 1;   // AGU; memory time added by the LSQ
+    case InstrGroup::kStore: return 1;  // AGU + data forward
+    case InstrGroup::kBranch: return 1;
+  }
+  ADSE_REQUIRE_MSG(false, "unknown instruction group");
+  return 1;
+}
+
+const char* group_name(InstrGroup group) {
+  switch (group) {
+    case InstrGroup::kInt: return "INT";
+    case InstrGroup::kIntMul: return "INT_MUL";
+    case InstrGroup::kFp: return "FP";
+    case InstrGroup::kFpDiv: return "FP_DIV";
+    case InstrGroup::kVec: return "VEC";
+    case InstrGroup::kPred: return "PRED";
+    case InstrGroup::kLoad: return "LOAD";
+    case InstrGroup::kStore: return "STORE";
+    case InstrGroup::kBranch: return "BRANCH";
+  }
+  return "?";
+}
+
+}  // namespace adse::isa

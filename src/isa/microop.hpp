@@ -1,0 +1,99 @@
+#pragma once
+/// \file microop.hpp
+/// The micro-operation ISA consumed by the core model. The paper runs real
+/// armv8.4-a+sve binaries through SimEng; we substitute synthetic µop traces
+/// (see DESIGN.md) that carry exactly the information the core timing model
+/// needs: instruction group, architectural register operands, memory address
+/// and width, SVE-ness, and loop-body markers for the loop buffer.
+
+#include <array>
+#include <cstdint>
+
+namespace adse::isa {
+
+/// Execution groups. Each group maps to a fixed latency and a set of issue
+/// ports (§V-A fixes the execution-unit design across the whole study).
+enum class InstrGroup : std::uint8_t {
+  kInt,     ///< scalar integer ALU (add/sub/logic, address arithmetic)
+  kIntMul,  ///< scalar integer multiply
+  kFp,      ///< scalar floating point (FMA-class)
+  kFpDiv,   ///< scalar floating-point divide / sqrt
+  kVec,     ///< NEON/SVE data-processing
+  kPred,    ///< SVE predicate manipulation (whilelo, ptest, ...)
+  kLoad,    ///< memory read (scalar or vector; width in mem_size_bytes)
+  kStore,   ///< memory write
+  kBranch,  ///< conditional/unconditional branch
+};
+
+inline constexpr int kNumInstrGroups = 9;
+
+/// Architectural register classes. These mirror the four physical register
+/// file parameters of Table II.
+enum class RegClass : std::uint8_t {
+  kGp,    ///< x0..x30 + sp
+  kFp,    ///< z0..z31 (v registers overlay)
+  kPred,  ///< p0..p15 + ffr
+  kCond,  ///< nzcv
+  kNone,  ///< no register (unused operand slot)
+};
+
+inline constexpr int kNumRegClasses = 4;  // excluding kNone
+
+/// Architectural register reference.
+struct RegRef {
+  RegClass cls = RegClass::kNone;
+  std::uint16_t index = 0;
+
+  bool valid() const { return cls != RegClass::kNone; }
+};
+
+inline constexpr RegRef kNoReg{};
+
+/// Per-µop flags.
+enum MicroOpFlags : std::uint8_t {
+  kFlagNone = 0,
+  /// First dynamic iteration of the enclosing loop (trains the loop buffer;
+  /// later iterations may stream from it).
+  kFlagFirstLoopIteration = 1u << 0,
+  /// The back-branch of a loop's final iteration — the not-taken exit that
+  /// simple branch predictors mispredict (used by the hardware proxy).
+  kFlagLoopExit = 1u << 1,
+};
+
+/// One dynamic micro-operation of the trace. Fixed 4-byte encoding size is
+/// assumed for fetch-block accounting (Arm instructions are 4 bytes).
+struct MicroOp {
+  InstrGroup group = InstrGroup::kInt;
+  std::uint8_t flags = kFlagNone;
+  /// Static µop count of the enclosing innermost loop body (0 = straight-line
+  /// code). Used by the loop buffer: a body that fits is streamed without
+  /// consuming fetch-block bandwidth after its first iteration.
+  std::uint16_t loop_body_size = 0;
+  RegRef dest;                  ///< destination register (optional)
+  std::array<RegRef, 3> srcs{}; ///< source registers (kNone when unused)
+  std::uint64_t mem_addr = 0;   ///< byte address for load/store
+  std::uint32_t mem_size_bytes = 0;  ///< access width for load/store
+
+  bool is_memory() const {
+    return group == InstrGroup::kLoad || group == InstrGroup::kStore;
+  }
+
+  /// SVE accounting for Fig. 1: an instruction is counted as SVE when it has
+  /// at least one Z (FP/SVE vector) register source or destination and is a
+  /// vector-class op (the paper's measurement definition in §IV-A), or when
+  /// it is a predicate op.
+  bool is_sve() const;
+};
+
+/// Bytes of instruction encoding per µop (A64 fixed-width).
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+/// Fixed execution latency (cycles in the core clock domain) for a group.
+/// Loads/stores return their address-generation latency; memory time is
+/// modelled by the LSQ + memory hierarchy.
+int execution_latency(InstrGroup group);
+
+/// Human-readable group name for reports and tests.
+const char* group_name(InstrGroup group);
+
+}  // namespace adse::isa

@@ -1,0 +1,84 @@
+#include "isa/ports.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::isa {
+
+namespace {
+constexpr std::uint8_t kLsPorts[] = {kPortLs0, kPortLs1, kPortLs2};
+constexpr std::uint8_t kVecPorts[] = {kPortVec0, kPortVec1};
+constexpr std::uint8_t kPredPorts[] = {kPortPred0, kPortVec0, kPortVec1};
+constexpr std::uint8_t kMixPorts[] = {kPortMix0, kPortMix1, kPortMix2};
+}  // namespace
+
+std::span<const std::uint8_t> ports_for(InstrGroup group) {
+  switch (group) {
+    case InstrGroup::kLoad:
+    case InstrGroup::kStore:
+      return kLsPorts;
+    case InstrGroup::kVec:
+      return kVecPorts;
+    case InstrGroup::kPred:
+      // Predicate ops prefer the dedicated port but may fall back to the
+      // vector pipes (they share the SVE datapath).
+      return kPredPorts;
+    case InstrGroup::kInt:
+    case InstrGroup::kIntMul:
+    case InstrGroup::kFp:
+    case InstrGroup::kFpDiv:
+    case InstrGroup::kBranch:
+      return kMixPorts;
+  }
+  ADSE_REQUIRE_MSG(false, "unknown instruction group");
+  return kMixPorts;
+}
+
+PortLayout::PortLayout(int ls_ports, int vec_ports, int pred_ports,
+                       int mix_ports) {
+  ADSE_REQUIRE_MSG(ls_ports >= 1 && vec_ports >= 1 && pred_ports >= 0 &&
+                       mix_ports >= 1,
+                   "backend needs at least one L/S, vector and mixed port");
+  num_ports_ = ls_ports + vec_ports + pred_ports + mix_ports;
+  ADSE_REQUIRE_MSG(num_ports_ <= 64, "too many ports: " << num_ports_);
+  std::uint8_t next = 0;
+  for (int i = 0; i < ls_ports; ++i) ls_.push_back(next++);
+  for (int i = 0; i < vec_ports; ++i) vec_.push_back(next++);
+  for (int i = 0; i < pred_ports; ++i) pred_.push_back(next++);
+  for (int i = 0; i < mix_ports; ++i) mix_.push_back(next++);
+  // Predicate ops prefer dedicated ports, then share the vector pipes.
+  for (std::uint8_t v : vec_) pred_.push_back(v);
+}
+
+const PortLayout& PortLayout::paper_default() {
+  static const PortLayout layout(3, 2, 1, 3);
+  return layout;
+}
+
+std::span<const std::uint8_t> PortLayout::ports_for(InstrGroup group) const {
+  switch (group) {
+    case InstrGroup::kLoad:
+    case InstrGroup::kStore:
+      return ls_;
+    case InstrGroup::kVec:
+      return vec_;
+    case InstrGroup::kPred:
+      return pred_;
+    case InstrGroup::kInt:
+    case InstrGroup::kIntMul:
+    case InstrGroup::kFp:
+    case InstrGroup::kFpDiv:
+    case InstrGroup::kBranch:
+      return mix_;
+  }
+  ADSE_REQUIRE_MSG(false, "unknown instruction group");
+  return mix_;
+}
+
+bool port_supports(std::uint8_t port, InstrGroup group) {
+  for (std::uint8_t p : ports_for(group)) {
+    if (p == port) return true;
+  }
+  return false;
+}
+
+}  // namespace adse::isa

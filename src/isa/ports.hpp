@@ -1,0 +1,66 @@
+#pragma once
+/// \file ports.hpp
+/// The fixed execution backend of §V-A: issue ports, their supported
+/// instruction groups, and the unified reservation station geometry. The
+/// paper's prose says "seven execution units" but enumerates nine ports
+/// (three load/store, two NEON/SVE, one predicate-only, three mixed
+/// INT/FP/branch); we implement the enumeration (see DESIGN.md).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/microop.hpp"
+
+namespace adse::isa {
+
+/// Number of issue ports in the fixed backend.
+inline constexpr int kNumPorts = 9;
+
+/// Port roles, in issue-priority order.
+enum Port : std::uint8_t {
+  kPortLs0 = 0,   ///< load/store exclusive
+  kPortLs1,       ///< load/store exclusive
+  kPortLs2,       ///< load/store exclusive
+  kPortVec0,      ///< NEON/SVE
+  kPortVec1,      ///< NEON/SVE
+  kPortPred0,     ///< predicate-only
+  kPortMix0,      ///< integer / scalar FP / branch
+  kPortMix1,      ///< integer / scalar FP / branch
+  kPortMix2,      ///< integer / scalar FP / branch
+};
+
+/// Ports able to execute a group, in preferred issue order.
+std::span<const std::uint8_t> ports_for(InstrGroup group);
+
+/// True if `port` can execute `group`.
+bool port_supports(std::uint8_t port, InstrGroup group);
+
+/// A configurable execution backend — the extension §VII sketches
+/// ("experiment with the design of the execution units"). The default
+/// layout (3 L/S, 2 SVE, 1 predicate, 3 mixed) reproduces the paper's fixed
+/// backend; the backend-ablation bench sweeps alternatives. Predicate ops
+/// may fall back onto the vector pipes, as in the fixed layout.
+class PortLayout {
+ public:
+  /// Builds a layout with the given port counts (ls >= 1, vec >= 1,
+  /// pred >= 0, mix >= 1; total <= 64).
+  PortLayout(int ls_ports, int vec_ports, int pred_ports, int mix_ports);
+
+  /// The paper's fixed backend.
+  static const PortLayout& paper_default();
+
+  int num_ports() const { return num_ports_; }
+
+  /// Ports able to execute `group`, preferred first.
+  std::span<const std::uint8_t> ports_for(InstrGroup group) const;
+
+ private:
+  int num_ports_ = 0;
+  std::vector<std::uint8_t> ls_;
+  std::vector<std::uint8_t> vec_;
+  std::vector<std::uint8_t> pred_;  // dedicated pred ports + vec fallback
+  std::vector<std::uint8_t> mix_;
+};
+
+}  // namespace adse::isa

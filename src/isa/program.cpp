@@ -1,0 +1,22 @@
+#include "isa/program.hpp"
+
+namespace adse::isa {
+
+TraceStats compute_stats(const Program& program) {
+  TraceStats s;
+  s.total = program.ops.size();
+  for (const auto& op : program.ops) {
+    s.by_group[static_cast<int>(op.group)]++;
+    if (op.is_sve()) s.sve_ops++;
+    if (op.group == InstrGroup::kLoad) {
+      s.memory_ops++;
+      s.loaded_bytes += op.mem_size_bytes;
+    } else if (op.group == InstrGroup::kStore) {
+      s.memory_ops++;
+      s.stored_bytes += op.mem_size_bytes;
+    }
+  }
+  return s;
+}
+
+}  // namespace adse::isa

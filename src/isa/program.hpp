@@ -1,0 +1,41 @@
+#pragma once
+/// \file program.hpp
+/// A dynamic µop trace plus bookkeeping: the unit of work one simulation
+/// executes. Equivalent to a statically linked binary's retired instruction
+/// stream in the paper's setup.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/microop.hpp"
+
+namespace adse::isa {
+
+/// Per-group dynamic instruction counts and derived mix statistics.
+struct TraceStats {
+  std::uint64_t total = 0;
+  std::uint64_t by_group[kNumInstrGroups] = {};
+  std::uint64_t sve_ops = 0;        ///< µops satisfying MicroOp::is_sve()
+  std::uint64_t memory_ops = 0;     ///< loads + stores
+  std::uint64_t loaded_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+
+  double sve_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(sve_ops) / static_cast<double>(total);
+  }
+};
+
+/// A complete program trace.
+struct Program {
+  std::string name;                 ///< application name, e.g. "stream"
+  std::vector<MicroOp> ops;         ///< dynamic µop sequence (program order)
+  std::uint64_t footprint_bytes = 0;  ///< distinct data touched (diagnostics)
+
+  std::size_t size() const { return ops.size(); }
+};
+
+/// Scans a trace and accumulates its statistics.
+TraceStats compute_stats(const Program& program);
+
+}  // namespace adse::isa

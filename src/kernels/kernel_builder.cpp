@@ -1,0 +1,103 @@
+#include "kernels/kernel_builder.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::kernels {
+
+KernelBuilder::KernelBuilder(std::string name) { program_.name = std::move(name); }
+
+isa::Program KernelBuilder::take() {
+  ADSE_REQUIRE_MSG(!in_loop_, "take() inside an open loop");
+  isa::Program out = std::move(program_);
+  program_ = isa::Program{};
+  return out;
+}
+
+void KernelBuilder::begin_loop() {
+  ADSE_REQUIRE_MSG(!in_loop_, "nested begin_loop on innermost marker");
+  in_loop_ = true;
+  first_iteration_ = true;
+}
+
+void KernelBuilder::begin_iteration() {
+  ADSE_REQUIRE(in_loop_);
+  iter_start_ = program_.ops.size();
+}
+
+void KernelBuilder::end_iteration() {
+  ADSE_REQUIRE(in_loop_);
+  const std::size_t body = program_.ops.size() - iter_start_;
+  ADSE_REQUIRE_MSG(body > 0, "empty loop iteration");
+  ADSE_REQUIRE_MSG(body <= 0xffff, "loop body too large to stamp");
+  for (std::size_t i = iter_start_; i < program_.ops.size(); ++i) {
+    auto& op = program_.ops[i];
+    op.loop_body_size = static_cast<std::uint16_t>(body);
+    if (first_iteration_) op.flags |= isa::kFlagFirstLoopIteration;
+  }
+  first_iteration_ = false;
+}
+
+void KernelBuilder::end_loop() {
+  ADSE_REQUIRE(in_loop_);
+  in_loop_ = false;
+  // Flag the final iteration's back-branch: predictors miss the exit.
+  for (std::size_t i = program_.ops.size(); i-- > iter_start_;) {
+    if (program_.ops[i].group == InstrGroup::kBranch) {
+      program_.ops[i].flags |= isa::kFlagLoopExit;
+      break;
+    }
+  }
+}
+
+void KernelBuilder::op(InstrGroup group, RegRef dest, RegRef s0, RegRef s1,
+                       RegRef s2) {
+  MicroOp mop;
+  mop.group = group;
+  mop.dest = dest;
+  mop.srcs = {s0, s1, s2};
+  program_.ops.push_back(mop);
+}
+
+void KernelBuilder::load(RegRef dest, std::uint64_t addr, std::uint32_t size,
+                         RegRef addr_src, RegRef pg) {
+  MicroOp mop;
+  mop.group = InstrGroup::kLoad;
+  mop.dest = dest;
+  mop.srcs = {addr_src, pg, isa::kNoReg};
+  mop.mem_addr = addr;
+  mop.mem_size_bytes = size;
+  program_.ops.push_back(mop);
+}
+
+void KernelBuilder::store(std::uint64_t addr, std::uint32_t size,
+                          RegRef data_src, RegRef addr_src, RegRef pg) {
+  MicroOp mop;
+  mop.group = InstrGroup::kStore;
+  mop.dest = isa::kNoReg;
+  mop.srcs = {data_src, addr_src, pg};
+  mop.mem_addr = addr;
+  mop.mem_size_bytes = size;
+  program_.ops.push_back(mop);
+}
+
+void KernelBuilder::whilelo(RegRef pg, RegRef idx, RegRef limit) {
+  ADSE_REQUIRE(pg.cls == RegClass::kPred);
+  // whilelo writes both the predicate and NZCV; we model the NZCV write as a
+  // second µop (a common micro-architectural split) so both register classes
+  // see pressure.
+  op(InstrGroup::kPred, pg, idx, limit);
+  op(InstrGroup::kPred, cond(), pg);
+}
+
+void KernelBuilder::cmp(RegRef a, RegRef b) { op(InstrGroup::kInt, cond(), a, b); }
+
+void KernelBuilder::branch() { op(InstrGroup::kBranch, isa::kNoReg, cond()); }
+
+void KernelBuilder::note_footprint(std::uint64_t bytes) {
+  program_.footprint_bytes += bytes;
+}
+
+int lanes_f64(int vector_length_bits) { return vector_length_bits / 64; }
+int lanes_f32(int vector_length_bits) { return vector_length_bits / 32; }
+
+}  // namespace adse::kernels

@@ -1,0 +1,86 @@
+#pragma once
+/// \file kernel_builder.hpp
+/// A small DSL for emitting µop traces that look like compiled armv8.4-a+sve
+/// kernels: loops with index-update chains, predicate-governed vector ops,
+/// scalar address arithmetic, and loop-body markers for the loop buffer.
+/// The four workload generators (stream/minibude/tealeaf/minisweep) are built
+/// on top of this.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace adse::kernels {
+
+using isa::InstrGroup;
+using isa::MicroOp;
+using isa::RegClass;
+using isa::RegRef;
+
+/// Architectural register shorthands.
+inline RegRef gp(int i) { return {RegClass::kGp, static_cast<std::uint16_t>(i)}; }
+inline RegRef fp(int i) { return {RegClass::kFp, static_cast<std::uint16_t>(i)}; }
+inline RegRef pred(int i) { return {RegClass::kPred, static_cast<std::uint16_t>(i)}; }
+inline RegRef cond() { return {RegClass::kCond, 0}; }
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  /// Finalises and returns the program (builder is then empty).
+  isa::Program take();
+
+  // --- loop markers -------------------------------------------------------
+  /// Marks the start of one dynamic iteration of an innermost loop. On
+  /// end_iteration() every op emitted in between is stamped with the body
+  /// size; the first iteration after begin_loop() is flagged as the loop
+  /// buffer's training pass.
+  void begin_loop();
+  void begin_iteration();
+  void end_iteration();
+  void end_loop();
+
+  // --- emission helpers ----------------------------------------------------
+  /// Generic ALU-style op.
+  void op(InstrGroup group, RegRef dest, RegRef s0 = {}, RegRef s1 = {},
+          RegRef s2 = {});
+
+  /// Memory read of `size` bytes at `addr`, result into `dest`, addressed
+  /// via `addr_src` (and optionally predicated by `pg`).
+  void load(RegRef dest, std::uint64_t addr, std::uint32_t size,
+            RegRef addr_src, RegRef pg = {});
+
+  /// Memory write of `size` bytes at `addr` of `data_src`.
+  void store(std::uint64_t addr, std::uint32_t size, RegRef data_src,
+             RegRef addr_src, RegRef pg = {});
+
+  /// `whilelo pg, idx, limit` — predicate generation that also sets the
+  /// condition register (drives the loop back-branch).
+  void whilelo(RegRef pg, RegRef idx, RegRef limit);
+
+  /// Scalar compare setting the condition register.
+  void cmp(RegRef a, RegRef b);
+
+  /// Conditional branch reading the condition register.
+  void branch();
+
+  /// Footprint bookkeeping (for diagnostics only).
+  void note_footprint(std::uint64_t bytes);
+
+  std::size_t size() const { return program_.ops.size(); }
+
+ private:
+  isa::Program program_;
+  // Innermost-loop tracking (one level; outer loops simply don't mark).
+  bool in_loop_ = false;
+  bool first_iteration_ = false;
+  std::size_t iter_start_ = 0;
+};
+
+/// Lane helpers shared by the generators.
+int lanes_f64(int vector_length_bits);
+int lanes_f32(int vector_length_bits);
+
+}  // namespace adse::kernels

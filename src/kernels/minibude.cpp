@@ -1,0 +1,92 @@
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::kernels {
+
+namespace {
+
+// Pose component arrays (x/y/z + orientation), fp32, vectorised over poses;
+// per-atom parameters are scalar loads. All bases are line-disjoint.
+constexpr std::uint64_t kBasePoseX = 0x4000'0000;
+constexpr std::uint64_t kBasePoseY = 0x4100'0440;
+constexpr std::uint64_t kBasePoseZ = 0x4200'0880;
+constexpr std::uint64_t kBasePoseQ = 0x4300'0cc0;
+constexpr std::uint64_t kBaseAtoms = 0x4400'1100;
+constexpr std::uint64_t kBaseEnergy = 0x4500'1540;
+constexpr std::uint32_t kElemF32 = 4;
+
+}  // namespace
+
+isa::Program build_minibude(const BudeInput& input, int vector_length_bits) {
+  ADSE_REQUIRE(input.atoms > 0 && input.poses > 0 && input.repetitions > 0);
+  const int lanes = lanes_f32(vector_length_bits);
+  const int pose_vecs = (input.poses + lanes - 1) / lanes;
+  const std::uint32_t vec_bytes = static_cast<std::uint32_t>(lanes) * kElemF32;
+
+  KernelBuilder b("minibude");
+  // Setup: constants into z24..z27 (charge scale, cutoffs...).
+  b.op(InstrGroup::kInt, gp(2));  // pose limit
+  for (int i = 24; i < 28; ++i) b.op(InstrGroup::kVec, fp(i));
+
+  for (int rep = 0; rep < input.repetitions; ++rep) {
+    for (int atom = 0; atom < input.atoms; ++atom) {
+      // Per-atom scalar work: load atom record (position + force-field
+      // parameters), broadcast into vectors.
+      const std::uint64_t atom_addr =
+          kBaseAtoms + static_cast<std::uint64_t>(atom) * 32;
+      b.op(InstrGroup::kInt, gp(3), gp(3));            // atom pointer bump
+      b.load(fp(20), atom_addr, 8, gp(3));             // atom x,y
+      b.load(fp(21), atom_addr + 8, 8, gp(3));         // atom z,type
+      b.load(gp(4), atom_addr + 16, 8, gp(3));         // ff params
+      b.op(InstrGroup::kVec, fp(22), fp(20));          // dup to vector
+      b.op(InstrGroup::kVec, fp(23), fp(21));
+
+      b.op(InstrGroup::kInt, gp(1));  // pose index = 0
+      b.begin_loop();
+      for (int pv = 0; pv < pose_vecs; ++pv) {
+        const std::uint64_t off = static_cast<std::uint64_t>(pv) * vec_bytes;
+        b.begin_iteration();
+        b.whilelo(pred(0), gp(1), gp(2));
+        // Gather this pose block (contiguous, L1-resident).
+        b.load(fp(0), kBasePoseX + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBasePoseY + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(2), kBasePoseZ + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(3), kBasePoseQ + off, vec_bytes, gp(1), pred(0));
+        // Distance computation: dx..dz, squared distance (chain depth 3).
+        b.op(InstrGroup::kVec, fp(4), fp(0), fp(22));        // dx
+        b.op(InstrGroup::kVec, fp(5), fp(1), fp(22));        // dy
+        b.op(InstrGroup::kVec, fp(6), fp(2), fp(23));        // dz
+        b.op(InstrGroup::kVec, fp(7), fp(4), fp(4));         // dx^2
+        b.op(InstrGroup::kVec, fp(7), fp(5), fp(5), fp(7));  // +dy^2
+        b.op(InstrGroup::kVec, fp(7), fp(6), fp(6), fp(7));  // +dz^2
+        // Two independent energy terms (electrostatic + steric), each a
+        // 3-deep FMA chain — the ILP the paper's compute-bound kernel has.
+        b.op(InstrGroup::kVec, fp(8), fp(7), fp(24));
+        b.op(InstrGroup::kVec, fp(8), fp(8), fp(25), fp(8));
+        b.op(InstrGroup::kVec, fp(8), fp(8), fp(3), fp(8));
+        b.op(InstrGroup::kVec, fp(9), fp(7), fp(26));
+        b.op(InstrGroup::kVec, fp(9), fp(9), fp(27), fp(9));
+        b.op(InstrGroup::kVec, fp(9), fp(9), fp(3), fp(9));
+        // Select + accumulate into the per-pose energy accumulator z10.
+        b.op(InstrGroup::kVec, fp(11), fp(8), fp(9));
+        b.op(InstrGroup::kVec, fp(10), fp(11), fp(10));
+        b.op(InstrGroup::kInt, gp(1), gp(1));  // incw pose index
+        b.branch();
+        b.end_iteration();
+      }
+      b.end_loop();
+    }
+    // Write back per-pose energies once per repetition.
+    for (int pv = 0; pv < pose_vecs; ++pv) {
+      const std::uint64_t off = static_cast<std::uint64_t>(pv) * vec_bytes;
+      b.store(kBaseEnergy + off, vec_bytes, fp(10), gp(1), pred(0));
+    }
+  }
+
+  b.note_footprint(static_cast<std::uint64_t>(input.poses) * kElemF32 * 5 +
+                   static_cast<std::uint64_t>(input.atoms) * 32);
+  return b.take();
+}
+
+}  // namespace adse::kernels

@@ -1,0 +1,124 @@
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::kernels {
+
+namespace {
+
+// psi[cell][angle] flux array plus sources/cross-sections (f64).
+constexpr std::uint64_t kBasePsi = 0x6000'0000;
+constexpr std::uint64_t kBaseSrc = 0x6100'0440;
+constexpr std::uint64_t kBaseSigma = 0x6200'0880;
+constexpr std::uint64_t kBaseFace = 0x6300'0cc0;
+constexpr std::uint32_t kElem = 8;
+
+}  // namespace
+
+/// MiniSweep's upwind wavefront: each cell's angular fluxes depend on the
+/// three upstream neighbours' fluxes *through memory* (their stores are
+/// forwarded to this cell's loads), which serialises the sweep along the
+/// diagonal exactly like the real code. Angles are independent, so the ILP
+/// available to the core is #angles wide — making this kernel sensitive to
+/// frontend throughput and ROB/register capacity, not memory bandwidth
+/// (single-rank MiniSweep is compute bound, §V-B).
+isa::Program build_minisweep(const SweepInput& input, int vector_length_bits) {
+  ADSE_REQUIRE(input.nx > 0 && input.ny > 0 && input.nz > 0);
+  ADSE_REQUIRE(input.angles > 0 && input.octants > 0);
+  const int nx = input.nx, ny = input.ny, nz = input.nz;
+  const int na = input.angles;
+  const int lanes = lanes_f64(vector_length_bits);
+
+  auto psi_addr = [&](int i, int j, int k, int a) {
+    const std::uint64_t cell =
+        (static_cast<std::uint64_t>(k) * ny + j) * static_cast<std::uint64_t>(nx) + i;
+    return kBasePsi + (cell * static_cast<std::uint64_t>(na) + a) * kElem;
+  };
+
+  KernelBuilder b("minisweep");
+  b.op(InstrGroup::kInt, gp(2));   // bounds
+  b.op(InstrGroup::kFp, fp(24));   // quadrature weight
+  b.op(InstrGroup::kFp, fp(25));   // dt/dx factor
+
+  for (int octant = 0; octant < input.octants; ++octant) {
+    // Vectorised face-buffer zeroing — the only loop the compiler manages to
+    // vectorise (poor overall vectorisation, Fig. 1).
+    {
+      const int face_elems = ny * nz * na;
+      const int iters = (face_elems + lanes - 1) / lanes;
+      const std::uint32_t vec_bytes = static_cast<std::uint32_t>(lanes) * kElem;
+      b.op(InstrGroup::kVec, fp(0));  // zero vector
+      b.op(InstrGroup::kInt, gp(1));
+      b.begin_loop();
+      for (int v = 0; v < iters; ++v) {
+        b.begin_iteration();
+        b.whilelo(pred(0), gp(1), gp(2));
+        b.store(kBaseFace + static_cast<std::uint64_t>(v) * vec_bytes, vec_bytes,
+                fp(0), gp(1), pred(0));
+        b.op(InstrGroup::kInt, gp(1), gp(1));
+        b.branch();
+        b.end_iteration();
+      }
+      b.end_loop();
+    }
+
+    // Wavefront sweep in upwind order. For octant parity we flip traversal
+    // direction; upstream addressing stays "previously visited neighbour".
+    const bool forward = (octant % 2) == 0;
+    for (int kk = 0; kk < nz; ++kk) {
+      const int k = forward ? kk : nz - 1 - kk;
+      for (int jj = 0; jj < ny; ++jj) {
+        const int j = forward ? jj : ny - 1 - jj;
+        for (int ii = 0; ii < nx; ++ii) {
+          const int i = forward ? ii : nx - 1 - ii;
+          const int pi = forward ? i - 1 : i + 1;
+          const int pj = forward ? j - 1 : j + 1;
+          const int pk = forward ? k - 1 : k + 1;
+          // Per-cell scalar prologue: cross-section + source pointers.
+          b.op(InstrGroup::kInt, gp(3), gp(3));
+          b.load(fp(20), kBaseSigma + static_cast<std::uint64_t>(i + j + k) * kElem,
+                 kElem, gp(3));
+          b.begin_loop();
+          for (int a = 0; a < na; ++a) {
+            b.begin_iteration();
+            // Upstream fluxes: in-grid neighbours read the psi written when
+            // that cell was processed (store->load dependency); boundary
+            // cells read the (zeroed) face buffer.
+            const std::uint64_t ax = (pi >= 0 && pi < nx)
+                                         ? psi_addr(pi, j, k, a)
+                                         : kBaseFace + static_cast<std::uint64_t>(a) * kElem;
+            const std::uint64_t ay = (pj >= 0 && pj < ny)
+                                         ? psi_addr(i, pj, k, a)
+                                         : kBaseFace + 0x1000 + static_cast<std::uint64_t>(a) * kElem;
+            const std::uint64_t az = (pk >= 0 && pk < nz)
+                                         ? psi_addr(i, j, pk, a)
+                                         : kBaseFace + 0x2000 + static_cast<std::uint64_t>(a) * kElem;
+            b.load(fp(0), ax, kElem, gp(3));
+            b.load(fp(1), ay, kElem, gp(3));
+            b.load(fp(2), az, kElem, gp(3));
+            b.load(fp(3), kBaseSrc + static_cast<std::uint64_t>(a) * kElem, kElem,
+                   gp(3));
+            // Upwind update chain (depth 5): directional sum, source term,
+            // attenuation, quadrature weighting.
+            b.op(InstrGroup::kFp, fp(4), fp(0), fp(1));
+            b.op(InstrGroup::kFp, fp(4), fp(4), fp(2));
+            b.op(InstrGroup::kFp, fp(4), fp(4), fp(25), fp(3));
+            b.op(InstrGroup::kFp, fp(4), fp(4), fp(20));
+            b.op(InstrGroup::kFp, fp(5), fp(4), fp(24));
+            b.store(psi_addr(i, j, k, a), kElem, fp(5), gp(3));
+            b.op(InstrGroup::kInt, gp(4), gp(4));  // angle index
+            b.branch();
+            b.end_iteration();
+          }
+          b.end_loop();
+        }
+      }
+    }
+  }
+
+  b.note_footprint(static_cast<std::uint64_t>(nx) * ny * nz * na * kElem +
+                   static_cast<std::uint64_t>(ny) * nz * na * kElem);
+  return b.take();
+}
+
+}  // namespace adse::kernels

@@ -1,0 +1,92 @@
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::kernels {
+
+namespace {
+
+/// Array bases, spread by 0x140-byte (5 half-line) offsets so no two arrays
+/// alias onto the same cache set at any line width (mimicking real heap
+/// placement; perfectly aligned bases would thrash low-associativity caches
+/// deterministically).
+constexpr std::uint64_t kBaseA = 0x1000'0000;
+constexpr std::uint64_t kBaseB = 0x2000'0440;
+constexpr std::uint64_t kBaseC = 0x3000'08c0;
+constexpr std::uint32_t kElem = 8;  // f64
+
+/// Which of the four STREAM kernels to emit.
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+/// Emits one predicated SVE loop `for (i...) dst[i] = f(a[i], b[i])` exactly
+/// as vector-length-agnostic codegen lays it out: whilelo / loads / compute /
+/// store / index increment / back-branch.
+void emit_kernel(KernelBuilder& b, StreamKernel kernel, int elements,
+                 int lanes) {
+  const int iters = (elements + lanes - 1) / lanes;
+  const std::uint32_t vec_bytes = static_cast<std::uint32_t>(lanes) * kElem;
+
+  b.begin_loop();
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * vec_bytes;
+    b.begin_iteration();
+    // Loop control: index chain (x1), limit (x2), governing predicate (p0).
+    b.whilelo(pred(0), gp(1), gp(2));
+    switch (kernel) {
+      case StreamKernel::kCopy:  // c[i] = a[i]
+        b.load(fp(0), kBaseA + off, vec_bytes, gp(1), pred(0));
+        b.store(kBaseC + off, vec_bytes, fp(0), gp(1), pred(0));
+        break;
+      case StreamKernel::kScale:  // b[i] = s * c[i]
+        b.load(fp(0), kBaseC + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(1), fp(0), fp(8));  // z8 holds the scalar
+        b.store(kBaseB + off, vec_bytes, fp(1), gp(1), pred(0));
+        break;
+      case StreamKernel::kAdd:  // c[i] = a[i] + b[i]
+        b.load(fp(0), kBaseA + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBaseB + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(2), fp(0), fp(1));
+        b.store(kBaseC + off, vec_bytes, fp(2), gp(1), pred(0));
+        break;
+      case StreamKernel::kTriad:  // a[i] = b[i] + s * c[i]
+        b.load(fp(0), kBaseB + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBaseC + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(2), fp(1), fp(8), fp(0));  // fmla
+        b.store(kBaseA + off, vec_bytes, fp(2), gp(1), pred(0));
+        break;
+    }
+    b.op(InstrGroup::kInt, gp(1), gp(1));  // incd x1 (serial index chain)
+    b.branch();
+    b.end_iteration();
+  }
+  b.end_loop();
+}
+
+}  // namespace
+
+isa::Program build_stream(const StreamInput& input, int vector_length_bits) {
+  ADSE_REQUIRE(input.array_elements > 0);
+  ADSE_REQUIRE(input.repetitions > 0);
+  const int lanes = lanes_f64(vector_length_bits);
+  ADSE_REQUIRE_MSG(lanes >= 1, "vector too short for f64 lanes");
+
+  KernelBuilder b("stream");
+  // Scalar setup: load the triad scalar, materialise bounds.
+  b.op(InstrGroup::kInt, gp(2));                 // limit
+  b.op(InstrGroup::kInt, gp(1));                 // index = 0
+  b.load(fp(8), kBaseA - 64, kElem, gp(2));      // broadcast scalar s
+
+  for (int rep = 0; rep < input.repetitions; ++rep) {
+    // Classic STREAM order: Copy, Scale, Add, Triad. Arrays are re-touched
+    // across kernels, so L2 capacity decides whether the later passes hit.
+    emit_kernel(b, StreamKernel::kCopy, input.array_elements, lanes);
+    emit_kernel(b, StreamKernel::kScale, input.array_elements, lanes);
+    emit_kernel(b, StreamKernel::kAdd, input.array_elements, lanes);
+    emit_kernel(b, StreamKernel::kTriad, input.array_elements, lanes);
+  }
+
+  b.note_footprint(3ull * static_cast<std::uint64_t>(input.array_elements) * kElem);
+  return b.take();
+}
+
+}  // namespace adse::kernels

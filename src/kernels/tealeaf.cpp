@@ -1,0 +1,165 @@
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::kernels {
+
+namespace {
+
+// Field bases (f64 grids, line-disjoint): p (search direction), w = A.p,
+// u (solution), r (residual), kx/ky (conduction coefficients).
+constexpr std::uint64_t kBaseP = 0x5000'0000;
+constexpr std::uint64_t kBaseW = 0x5100'0480;
+constexpr std::uint64_t kBaseU = 0x5200'0500;
+constexpr std::uint64_t kBaseR = 0x5300'09c0;
+constexpr std::uint64_t kBaseKx = 0x5400'0640;
+constexpr std::uint64_t kBaseKy = 0x5500'0740;
+constexpr std::uint32_t kElem = 8;
+
+std::uint64_t cell_addr(std::uint64_t base, int nx, int j, int i) {
+  return base + (static_cast<std::uint64_t>(j) * static_cast<std::uint64_t>(nx) +
+                 static_cast<std::uint64_t>(i)) *
+                    kElem;
+}
+
+}  // namespace
+
+/// TeaLeaf's CG solve, as the Arm compiler actually emits it (§IV-A): the
+/// 5-point stencil, both dot products and most vector updates stay scalar
+/// (poor vectorisation); only one streaming axpy loop vectorises. The fused
+/// stencil+dot loop carries serial FP reduction chains (4 partial sums, as
+/// -O3 codegen produces), which is what exposes L1 latency — the feature the
+/// paper finds dominant for this code.
+isa::Program build_tealeaf(const TeaLeafInput& input, int vector_length_bits) {
+  ADSE_REQUIRE(input.nx >= 4 && input.ny >= 4 && input.cg_steps > 0);
+  const int nx = input.nx;
+  const int ny = input.ny;
+  const int lanes = lanes_f64(vector_length_bits);
+
+  KernelBuilder b("tealeaf");
+  // Setup: stencil coefficients in f24/f25, loop bounds.
+  b.op(InstrGroup::kInt, gp(2));
+  b.op(InstrGroup::kFp, fp(24));
+  b.op(InstrGroup::kFp, fp(25));
+
+  for (int step = 0; step < input.cg_steps; ++step) {
+    // --- w = A.p fused with pw = dot(p, w), scalar ------------------------
+    // Four rotating partial sums f16..f19 (chain length = cells/4).
+    for (int acc = 16; acc < 20; ++acc) b.op(InstrGroup::kFp, fp(acc));
+    b.begin_loop();
+    int cell_index = 0;
+    for (int j = 1; j < ny - 1; ++j) {
+      for (int i = 1; i < nx - 1; ++i, ++cell_index) {
+        b.begin_iteration();
+        b.load(fp(0), cell_addr(kBaseP, nx, j, i), kElem, gp(1));      // centre
+        b.load(fp(1), cell_addr(kBaseP, nx, j - 1, i), kElem, gp(1));  // north
+        b.load(fp(2), cell_addr(kBaseP, nx, j + 1, i), kElem, gp(1));  // south
+        b.load(fp(3), cell_addr(kBaseP, nx, j, i - 1), kElem, gp(1));  // west
+        b.load(fp(4), cell_addr(kBaseP, nx, j, i + 1), kElem, gp(1));  // east
+        b.load(fp(8), cell_addr(kBaseKx, nx, j, i), kElem, gp(1));     // kx
+        b.load(fp(9), cell_addr(kBaseKy, nx, j, i), kElem, gp(1));     // ky
+        b.op(InstrGroup::kFp, fp(5), fp(1), fp(2));          // n+s
+        b.op(InstrGroup::kFp, fp(5), fp(5), fp(9));          // *ky
+        b.op(InstrGroup::kFp, fp(10), fp(3), fp(4));         // w+e
+        b.op(InstrGroup::kFp, fp(5), fp(10), fp(8), fp(5));  // fma *kx
+        b.op(InstrGroup::kFp, fp(6), fp(0), fp(24));         // c*diag
+        b.op(InstrGroup::kFp, fp(6), fp(5), fp(25), fp(6));  // w = fma
+        b.store(cell_addr(kBaseW, nx, j, i), kElem, fp(6), gp(1));
+        const int acc = 16 + (cell_index & 3);
+        b.op(InstrGroup::kFp, fp(7), fp(0), fp(6));            // p*w
+        b.op(InstrGroup::kFp, fp(acc), fp(7), fp(acc));        // partial sum
+        b.op(InstrGroup::kInt, gp(1), gp(1));                  // index
+        b.branch();
+        b.end_iteration();
+      }
+    }
+    b.end_loop();
+    // Reduce partials, alpha = rr/pw (divide chain).
+    b.op(InstrGroup::kFp, fp(16), fp(16), fp(17));
+    b.op(InstrGroup::kFp, fp(18), fp(18), fp(19));
+    b.op(InstrGroup::kFp, fp(16), fp(16), fp(18));
+    b.op(InstrGroup::kFpDiv, fp(20), fp(21), fp(16));  // alpha
+
+    // --- u += alpha * p, scalar ------------------------------------------
+    b.begin_loop();
+    for (int j = 1; j < ny - 1; ++j) {
+      for (int i = 1; i < nx - 1; ++i) {
+        b.begin_iteration();
+        b.load(fp(0), cell_addr(kBaseU, nx, j, i), kElem, gp(1));
+        b.load(fp(1), cell_addr(kBaseP, nx, j, i), kElem, gp(1));
+        b.op(InstrGroup::kFp, fp(2), fp(1), fp(20), fp(0));
+        b.store(cell_addr(kBaseU, nx, j, i), kElem, fp(2), gp(1));
+        b.op(InstrGroup::kInt, gp(1), gp(1));
+        b.branch();
+        b.end_iteration();
+      }
+    }
+    b.end_loop();
+
+    // --- r -= alpha * w — the one loop the compiler vectorises ------------
+    {
+      const int cells = (nx - 2) * (ny - 2);
+      const int iters = (cells + lanes - 1) / lanes;
+      const std::uint32_t vec_bytes = static_cast<std::uint32_t>(lanes) * kElem;
+      b.op(InstrGroup::kVec, fp(22), fp(20));  // broadcast alpha
+      b.begin_loop();
+      for (int v = 0; v < iters; ++v) {
+        const std::uint64_t off = static_cast<std::uint64_t>(v) * vec_bytes;
+        b.begin_iteration();
+        b.whilelo(pred(0), gp(1), gp(2));
+        b.load(fp(0), kBaseR + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBaseW + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(2), fp(1), fp(22), fp(0));  // fmls
+        b.store(kBaseR + off, vec_bytes, fp(2), gp(1), pred(0));
+        b.op(InstrGroup::kInt, gp(1), gp(1));
+        b.branch();
+        b.end_iteration();
+      }
+      b.end_loop();
+    }
+
+    // --- rr_new = dot(r, r), scalar, 4 partials ---------------------------
+    for (int acc = 16; acc < 20; ++acc) b.op(InstrGroup::kFp, fp(acc));
+    b.begin_loop();
+    cell_index = 0;
+    for (int j = 1; j < ny - 1; ++j) {
+      for (int i = 1; i < nx - 1; ++i, ++cell_index) {
+        b.begin_iteration();
+        b.load(fp(0), cell_addr(kBaseR, nx, j, i), kElem, gp(1));
+        const int acc = 16 + (cell_index & 3);
+        b.op(InstrGroup::kFp, fp(1), fp(0), fp(0));
+        b.op(InstrGroup::kFp, fp(acc), fp(1), fp(acc));
+        b.op(InstrGroup::kInt, gp(1), gp(1));
+        b.branch();
+        b.end_iteration();
+      }
+    }
+    b.end_loop();
+    b.op(InstrGroup::kFp, fp(16), fp(16), fp(17));
+    b.op(InstrGroup::kFp, fp(18), fp(18), fp(19));
+    b.op(InstrGroup::kFp, fp(16), fp(16), fp(18));
+    b.op(InstrGroup::kFpDiv, fp(23), fp(16), fp(21));  // beta
+    b.op(InstrGroup::kFp, fp(21), fp(16));             // rr_old = rr_new
+
+    // --- p = r + beta * p, scalar ------------------------------------------
+    b.begin_loop();
+    for (int j = 1; j < ny - 1; ++j) {
+      for (int i = 1; i < nx - 1; ++i) {
+        b.begin_iteration();
+        b.load(fp(0), cell_addr(kBaseR, nx, j, i), kElem, gp(1));
+        b.load(fp(1), cell_addr(kBaseP, nx, j, i), kElem, gp(1));
+        b.op(InstrGroup::kFp, fp(2), fp(1), fp(23), fp(0));
+        b.store(cell_addr(kBaseP, nx, j, i), kElem, fp(2), gp(1));
+        b.op(InstrGroup::kInt, gp(1), gp(1));
+        b.branch();
+        b.end_iteration();
+      }
+    }
+    b.end_loop();
+  }
+
+  b.note_footprint(6ull * static_cast<std::uint64_t>(nx) * ny * kElem);
+  return b.take();
+}
+
+}  // namespace adse::kernels

@@ -1,0 +1,44 @@
+#include "kernels/workloads.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::kernels {
+
+const std::string& app_name(App app) {
+  static const std::vector<std::string> names = {"STREAM", "MiniBude", "TeaLeaf",
+                                                 "MiniSweep"};
+  const auto idx = static_cast<std::size_t>(app);
+  ADSE_REQUIRE(idx < names.size());
+  return names[idx];
+}
+
+const std::string& app_slug(App app) {
+  static const std::vector<std::string> slugs = {"stream", "minibude", "tealeaf",
+                                                 "minisweep"};
+  const auto idx = static_cast<std::size_t>(app);
+  ADSE_REQUIRE(idx < slugs.size());
+  return slugs[idx];
+}
+
+const std::vector<App>& all_apps() {
+  static const std::vector<App> apps = {App::kStream, App::kMiniBude,
+                                        App::kTeaLeaf, App::kMiniSweep};
+  return apps;
+}
+
+isa::Program build_app(App app, int vector_length_bits) {
+  switch (app) {
+    case App::kStream:
+      return build_stream(StreamInput{}, vector_length_bits);
+    case App::kMiniBude:
+      return build_minibude(BudeInput{}, vector_length_bits);
+    case App::kTeaLeaf:
+      return build_tealeaf(TeaLeafInput{}, vector_length_bits);
+    case App::kMiniSweep:
+      return build_minisweep(SweepInput{}, vector_length_bits);
+  }
+  ADSE_REQUIRE_MSG(false, "unknown app");
+  return {};
+}
+
+}  // namespace adse::kernels

@@ -1,0 +1,79 @@
+#pragma once
+/// \file workloads.hpp
+/// The four HPC codes of §V-B, as vector-length-agnostic trace generators,
+/// with inputs mirroring Table IV (scaled down so a laptop-scale campaign is
+/// feasible — the paper made the same concession relative to full SPEChpc
+/// inputs; see DESIGN.md §5).
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace adse::kernels {
+
+/// Application identifiers, in the paper's reporting order.
+enum class App : int { kStream = 0, kMiniBude, kTeaLeaf, kMiniSweep };
+
+inline constexpr int kNumApps = 4;
+
+/// Display name ("STREAM", "MiniBude", "TeaLeaf", "MiniSweep").
+const std::string& app_name(App app);
+
+/// Lower-case machine name ("stream", ...; used in CSV columns/cache paths).
+const std::string& app_slug(App app);
+
+/// All four apps in order.
+const std::vector<App>& all_apps();
+
+// --- per-application inputs (Table IV analogues) ---------------------------
+
+/// STREAM: sustained memory bandwidth (McCalpin). The paper used a 200,000
+/// element array (4.6 MiB); we scale to keep traces small while the 192 KiB
+/// footprint still straddles the L2 size range (so the L2-size cliff of
+/// §VI-B exists in the data).
+struct StreamInput {
+  int array_elements = 8192;  ///< doubles per array (three arrays)
+  int repetitions = 1;        ///< passes over the four STREAM kernels
+};
+
+/// miniBUDE: molecular-docking energy evaluation; fp32, compute bound,
+/// vectorised over poses (bm1: 26 atoms, 64 poses, 1 iteration — we repeat
+/// the kernel to lengthen the trace).
+struct BudeInput {
+  int atoms = 26;
+  int poses = 64;
+  int repetitions = 4;
+};
+
+/// TeaLeaf: 2-D linear heat conduction via CG; f64, memory-latency bound,
+/// poorly vectorised by the compiler (§IV-A). The 40x40 grid keeps the
+/// six-field working set (~75 KiB) beyond L1 so the code stays memory-bound,
+/// as the paper's input is.
+struct TeaLeafInput {
+  int nx = 40;
+  int ny = 40;
+  int cg_steps = 1;
+};
+
+/// MiniSweep: 3-D radiation-transport wavefront sweep; f64, compute bound at
+/// one rank, dependency-serialised across cells, poorly vectorised.
+struct SweepInput {
+  int nx = 4;
+  int ny = 4;
+  int nz = 4;
+  int angles = 32;
+  int octants = 2;
+};
+
+// --- generators -------------------------------------------------------------
+
+isa::Program build_stream(const StreamInput& input, int vector_length_bits);
+isa::Program build_minibude(const BudeInput& input, int vector_length_bits);
+isa::Program build_tealeaf(const TeaLeafInput& input, int vector_length_bits);
+isa::Program build_minisweep(const SweepInput& input, int vector_length_bits);
+
+/// Builds an app's trace with the study's default (Table IV-scaled) inputs.
+isa::Program build_app(App app, int vector_length_bits);
+
+}  // namespace adse::kernels

@@ -1,0 +1,110 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace adse::mem {
+
+Cache::Cache(const CacheGeometry& geometry) : geom_(geometry) {
+  ADSE_REQUIRE_MSG(geom_.line_bytes > 0 && std::has_single_bit(geom_.line_bytes),
+                   "line size must be a power of two");
+  ADSE_REQUIRE_MSG(geom_.associativity > 0, "associativity must be positive");
+  ADSE_REQUIRE_MSG(geom_.size_bytes %
+                           (static_cast<std::uint64_t>(geom_.line_bytes) *
+                            geom_.associativity) ==
+                       0,
+                   "cache size not divisible by line*assoc");
+  const std::uint64_t sets = geom_.num_sets();
+  ADSE_REQUIRE_MSG(sets > 0 && std::has_single_bit(sets),
+                   "set count must be a positive power of two, got " << sets);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(geom_.line_bytes));
+  line_mask_ = geom_.line_bytes - 1;
+  set_mask_ = sets - 1;
+  ways_.assign(sets * geom_.associativity, Way{});
+}
+
+void Cache::touch(std::size_t set_base, std::size_t way) {
+  // A saturating global clock provides true-LRU ordering; on wrap we simply
+  // renumber the set (rare: 2^32 touches).
+  if (++lru_clock_ == 0) {
+    for (auto& w : ways_) w.lru = 0;
+    lru_clock_ = 1;
+  }
+  ways_[set_base + way].lru = lru_clock_;
+}
+
+bool Cache::access(std::uint64_t addr, bool is_store) {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      touch(base, w);
+      way.dirty = way.dirty || is_store;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+Eviction Cache::insert(std::uint64_t addr, bool dirty) {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+
+  // Already present (e.g. a racing prefetch): just update.
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      touch(base, w);
+      way.dirty = way.dirty || dirty;
+      return {};
+    }
+  }
+
+  // Prefer an invalid way, otherwise evict LRU.
+  std::size_t victim = 0;
+  std::uint32_t best_lru = ~0u;
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (!way.valid) {
+      victim = w;
+      best_lru = 0;
+      break;
+    }
+    if (way.lru < best_lru) {
+      best_lru = way.lru;
+      victim = w;
+    }
+  }
+
+  Way& way = ways_[base + victim];
+  Eviction ev;
+  if (way.valid) {
+    ev.evicted = true;
+    ev.dirty = way.dirty;
+    ev.line_addr = way.tag << line_shift_;
+  }
+  way.valid = true;
+  way.tag = tag;
+  way.dirty = dirty;
+  touch(base, victim);
+  return ev;
+}
+
+void Cache::reset() {
+  for (auto& w : ways_) w = Way{};
+  lru_clock_ = 0;
+}
+
+}  // namespace adse::mem

@@ -1,0 +1,77 @@
+#pragma once
+/// \file cache.hpp
+/// A set-associative, write-back, write-allocate cache directory with true
+/// LRU replacement. Only tags are modelled (the simulator is timing-only);
+/// data movement costs are accounted by the MemoryHierarchy.
+
+#include <cstdint>
+#include <vector>
+
+namespace adse::mem {
+
+/// Geometry of one cache level. All fields in bytes/ways.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;
+  std::uint32_t associativity = 0;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+};
+
+/// Result of inserting a line: whether a victim was evicted and if it was
+/// dirty (requiring a writeback).
+struct Eviction {
+  bool evicted = false;
+  bool dirty = false;
+  std::uint64_t line_addr = 0;
+};
+
+class Cache {
+ public:
+  /// Geometry must be consistent: size divisible by line*assoc, and the set
+  /// count must be a power of two (enforced by configuration validation).
+  explicit Cache(const CacheGeometry& geometry);
+
+  const CacheGeometry& geometry() const { return geom_; }
+
+  /// Probes for the line containing `addr`. On a hit, updates LRU and the
+  /// dirty bit (for stores) and returns true.
+  bool access(std::uint64_t addr, bool is_store);
+
+  /// Probes without updating any state (used by tests and the prefetcher).
+  bool contains(std::uint64_t addr) const;
+
+  /// Inserts the line containing `addr` (replacing LRU). Returns eviction
+  /// info so the hierarchy can charge dirty writebacks.
+  Eviction insert(std::uint64_t addr, bool dirty);
+
+  /// Invalidates everything (between simulation runs).
+  void reset();
+
+  std::uint64_t line_addr(std::uint64_t addr) const { return addr & ~line_mask_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const {
+    return (addr >> line_shift_) & set_mask_;
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const { return addr >> line_shift_; }
+
+  void touch(std::size_t set_base, std::size_t way);
+
+  CacheGeometry geom_;
+  std::uint64_t line_mask_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
+  std::uint32_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets * associativity, set-major
+};
+
+}  // namespace adse::mem

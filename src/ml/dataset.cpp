@@ -1,0 +1,49 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+
+void Dataset::add_row(std::vector<double> features, double target) {
+  ADSE_REQUIRE_MSG(features.size() == feature_names.size(),
+                   "row has " << features.size() << " features, expected "
+                              << feature_names.size());
+  x.push_back(std::move(features));
+  y.push_back(target);
+}
+
+void Dataset::check() const {
+  ADSE_REQUIRE(x.size() == y.size());
+  for (const auto& row : x) {
+    ADSE_REQUIRE_MSG(row.size() == feature_names.size(), "ragged feature row");
+  }
+}
+
+TrainTestSplit train_test_split(const Dataset& data, double train_fraction,
+                                Rng& rng) {
+  data.check();
+  ADSE_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0);
+  ADSE_REQUIRE_MSG(data.num_rows() >= 2, "cannot split fewer than 2 rows");
+
+  std::vector<std::size_t> order(data.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::size_t n_train = static_cast<std::size_t>(
+      static_cast<double>(data.num_rows()) * train_fraction);
+  n_train = std::max<std::size_t>(1, std::min(n_train, data.num_rows() - 1));
+
+  TrainTestSplit split;
+  split.train.feature_names = data.feature_names;
+  split.test.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = (i < n_train) ? split.train : split.test;
+    dst.x.push_back(data.x[order[i]]);
+    dst.y.push_back(data.y[order[i]]);
+  }
+  return split;
+}
+
+}  // namespace adse::ml

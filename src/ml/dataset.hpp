@@ -1,0 +1,41 @@
+#pragma once
+/// \file dataset.hpp
+/// Feature matrix + target vector for the surrogate models, with the 80/20
+/// randomised train/validation split of §V-C.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace adse::ml {
+
+/// A supervised regression dataset (row-major features).
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> x;  ///< rows × features
+  std::vector<double> y;               ///< target (execution cycles)
+
+  std::size_t num_rows() const { return x.size(); }
+  std::size_t num_features() const { return feature_names.size(); }
+
+  /// Appends a row; the feature count must match.
+  void add_row(std::vector<double> features, double target);
+
+  /// Validates internal consistency (row widths, y length); throws on error.
+  void check() const;
+};
+
+/// Result of a randomised split.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomised split; `train_fraction` of rows go to train (at least one row
+/// lands on each side). Deterministic for a given RNG state.
+TrainTestSplit train_test_split(const Dataset& data, double train_fraction,
+                                Rng& rng);
+
+}  // namespace adse::ml

@@ -1,0 +1,400 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <tuple>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+
+namespace {
+
+/// Fenwick tree over value ranks carrying counts and sums — supports the
+/// exact absolute-error criterion in O(log n) per update/query.
+class OrderStats {
+ public:
+  explicit OrderStats(std::size_t ranks)
+      : count_(ranks + 1, 0), sum_(ranks + 1, 0.0), total_count_(0),
+        total_sum_(0.0) {}
+
+  void add(std::size_t rank, double value, int sign) {
+    total_count_ += sign;
+    total_sum_ += sign * value;
+    for (std::size_t i = rank + 1; i < count_.size(); i += i & (~i + 1)) {
+      count_[i] += sign;
+      sum_[i] += sign * value;
+    }
+  }
+
+  long long count() const { return total_count_; }
+
+  /// Sum of |y - median| over the multiset (0 when empty).
+  double abs_deviation_around_median() const {
+    if (total_count_ == 0) return 0.0;
+    const long long k = (total_count_ + 1) / 2;  // lower median position
+    // Find smallest rank with prefix count >= k, tracking prefix count/sum.
+    std::size_t pos = 0;
+    long long cnt = 0;
+    double sum = 0.0;
+    std::size_t mask = 1;
+    while ((mask << 1) < count_.size()) mask <<= 1;
+    double median = 0.0;
+    for (; mask > 0; mask >>= 1) {
+      const std::size_t next = pos + mask;
+      if (next < count_.size() && cnt + count_[next] < k) {
+        pos = next;
+        cnt += count_[next];
+        sum += sum_[next];
+      }
+    }
+    // pos is the rank *before* the median rank; median rank = pos (0-based).
+    // cnt/sum cover ranks < median rank.
+    median = rank_value_ ? (*rank_value_)[pos] : 0.0;
+    const long long below = cnt;
+    const double below_sum = sum;
+    const long long above = total_count_ - below;
+    const double above_sum = total_sum_ - below_sum;
+    // Elements equal to the median contribute zero either way; folding them
+    // into "above" keeps the arithmetic exact.
+    return (static_cast<double>(below) * median - below_sum) +
+           (above_sum - static_cast<double>(above) * median);
+  }
+
+  void attach_rank_values(const std::vector<double>* rank_value) {
+    rank_value_ = rank_value;
+  }
+
+ private:
+  std::vector<long long> count_;
+  std::vector<double> sum_;
+  long long total_count_;
+  double total_sum_;
+  const std::vector<double>* rank_value_ = nullptr;
+};
+
+double median_of(std::vector<double> v) {
+  ADSE_REQUIRE(!v.empty());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+}  // namespace
+
+DecisionTreeRegressor::DecisionTreeRegressor(const TreeOptions& options)
+    : options_(options) {
+  ADSE_REQUIRE(options_.min_samples_split >= 2);
+  ADSE_REQUIRE(options_.min_samples_leaf >= 1);
+}
+
+void DecisionTreeRegressor::fit(const Dataset& data) {
+  data.check();
+  ADSE_REQUIRE_MSG(data.num_rows() >= 1, "cannot fit on empty dataset");
+  nodes_.clear();
+  num_features_ = data.num_features();
+  Rng rng(options_.seed);
+
+  std::vector<std::uint32_t> indices(data.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = build(data, indices, 0, indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTreeRegressor::build(const Dataset& data,
+                                          std::vector<std::uint32_t>& indices,
+                                          std::size_t begin, std::size_t end,
+                                          int depth, Rng& rng) {
+  // Explicit work stack (an unconstrained tree can chain to depth ~n, which
+  // would overflow the call stack on large campaigns).
+  struct Work {
+    std::size_t begin, end;
+    int depth;
+    std::int32_t parent;  // -1 for root
+    bool is_left;
+  };
+  std::vector<Work> stack;
+  stack.push_back({begin, end, depth, -1, false});
+  std::int32_t root = -1;
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+
+    const std::size_t n = w.end - w.begin;
+    Node node;
+    node.n_samples = static_cast<std::uint32_t>(n);
+
+    // Node statistics.
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = w.begin; i < w.end; ++i) {
+      const double y = data.y[indices[i]];
+      sum += y;
+      sum2 += y * y;
+    }
+    const double mean = sum / static_cast<double>(n);
+    if (options_.criterion == Criterion::kMse) {
+      node.value = mean;
+      node.impurity = std::max(0.0, sum2 - sum * sum / static_cast<double>(n));
+    } else {
+      std::vector<double> ys;
+      ys.reserve(n);
+      for (std::size_t i = w.begin; i < w.end; ++i) ys.push_back(data.y[indices[i]]);
+      node.value = median_of(ys);
+      double dev = 0.0;
+      for (double y : ys) dev += std::abs(y - node.value);
+      node.impurity = dev;
+    }
+
+    BestSplit split;
+    const bool can_split =
+        static_cast<int>(n) >= options_.min_samples_split &&
+        (options_.max_depth < 0 || w.depth < options_.max_depth) &&
+        node.impurity > 1e-12;
+    if (can_split) split = find_best_split(data, indices, w.begin, w.end, rng);
+
+    const std::int32_t slot = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node);
+    if (w.parent >= 0) {
+      (w.is_left ? nodes_[w.parent].left : nodes_[w.parent].right) = slot;
+    } else {
+      root = slot;
+    }
+
+    if (!split.found || split.score >= node.impurity - 1e-12) continue;
+
+    nodes_[slot].feature = split.feature;
+    nodes_[slot].threshold = split.threshold;
+
+    // Stable partition: rows with feature <= threshold go left.
+    const auto first = indices.begin() + static_cast<std::ptrdiff_t>(w.begin);
+    const auto last = indices.begin() + static_cast<std::ptrdiff_t>(w.end);
+    const auto mid = std::stable_partition(first, last, [&](std::uint32_t row) {
+      return data.x[row][static_cast<std::size_t>(split.feature)] <=
+             split.threshold;
+    });
+    const std::size_t cut =
+        w.begin + static_cast<std::size_t>(std::distance(first, mid));
+    ADSE_REQUIRE_MSG(cut > w.begin && cut < w.end, "degenerate split");
+
+    // Push right first so left is processed next (depth-first, left-major).
+    stack.push_back({cut, w.end, w.depth + 1, slot, false});
+    stack.push_back({w.begin, cut, w.depth + 1, slot, true});
+  }
+  return root;
+}
+
+DecisionTreeRegressor::BestSplit DecisionTreeRegressor::find_best_split(
+    const Dataset& data, const std::vector<std::uint32_t>& indices,
+    std::size_t begin, std::size_t end, Rng& rng) const {
+  const std::size_t n = end - begin;
+  BestSplit best;
+  best.score = std::numeric_limits<double>::infinity();
+
+  std::vector<int> features(data.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.max_features > 0 &&
+      options_.max_features < static_cast<int>(features.size())) {
+    // Random subsample (Extra-Trees style); order irrelevant.
+    Rng& r = rng;
+    for (int i = 0; i < options_.max_features; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          r.index(features.size() - static_cast<std::size_t>(i));
+      std::swap(features[static_cast<std::size_t>(i)], features[j]);
+    }
+    features.resize(static_cast<std::size_t>(options_.max_features));
+  }
+
+  std::vector<std::pair<double, double>> pairs;  // (feature value, y)
+  pairs.reserve(n);
+
+  for (int f : features) {
+    pairs.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t row = indices[i];
+      pairs.emplace_back(data.x[row][static_cast<std::size_t>(f)], data.y[row]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+
+    const int min_leaf = options_.min_samples_leaf;
+
+    if (options_.criterion == Criterion::kMse) {
+      // Prefix sums -> child SSE in O(1) per candidate.
+      double left_sum = 0.0, left_sum2 = 0.0;
+      double total_sum = 0.0, total_sum2 = 0.0;
+      for (const auto& p : pairs) {
+        total_sum += p.second;
+        total_sum2 += p.second * p.second;
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += pairs[i].second;
+        left_sum2 += pairs[i].second * pairs[i].second;
+        const auto nl = static_cast<double>(i + 1);
+        const auto nr = static_cast<double>(n - i - 1);
+        if (static_cast<int>(i + 1) < min_leaf ||
+            static_cast<int>(n - i - 1) < min_leaf) {
+          continue;
+        }
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        const double sse_l = std::max(0.0, left_sum2 - left_sum * left_sum / nl);
+        const double right_sum = total_sum - left_sum;
+        const double right_sum2 = total_sum2 - left_sum2;
+        const double sse_r =
+            std::max(0.0, right_sum2 - right_sum * right_sum / nr);
+        const double score = sse_l + sse_r;
+        if (score < best.score) {
+          best.found = true;
+          best.feature = f;
+          best.threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+          best.score = score;
+        }
+      }
+    } else {
+      // Exact MAE via rank-compressed order statistics.
+      std::vector<double> rank_values;
+      rank_values.reserve(n);
+      for (const auto& p : pairs) rank_values.push_back(p.second);
+      std::sort(rank_values.begin(), rank_values.end());
+      rank_values.erase(std::unique(rank_values.begin(), rank_values.end()),
+                        rank_values.end());
+      auto rank_of = [&](double y) {
+        return static_cast<std::size_t>(
+            std::lower_bound(rank_values.begin(), rank_values.end(), y) -
+            rank_values.begin());
+      };
+      OrderStats left(rank_values.size());
+      OrderStats right(rank_values.size());
+      left.attach_rank_values(&rank_values);
+      right.attach_rank_values(&rank_values);
+      for (const auto& p : pairs) right.add(rank_of(p.second), p.second, +1);
+
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t r = rank_of(pairs[i].second);
+        left.add(r, pairs[i].second, +1);
+        right.add(r, pairs[i].second, -1);
+        if (static_cast<int>(i + 1) < min_leaf ||
+            static_cast<int>(n - i - 1) < min_leaf) {
+          continue;
+        }
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        const double score = left.abs_deviation_around_median() +
+                             right.abs_deviation_around_median();
+        if (score < best.score) {
+          best.found = true;
+          best.feature = f;
+          best.threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+          best.score = score;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double DecisionTreeRegressor::predict(const std::vector<double>& row) const {
+  ADSE_REQUIRE_MSG(fitted(), "predict() before fit()");
+  ADSE_REQUIRE_MSG(row.size() == num_features_,
+                   "feature width " << row.size() << ", expected "
+                                    << num_features_);
+  std::int32_t node = root_;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& cur = nodes_[static_cast<std::size_t>(node)];
+    node = (row[static_cast<std::size_t>(cur.feature)] <= cur.threshold)
+               ? cur.left
+               : cur.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+std::vector<double> DecisionTreeRegressor::predict_all(
+    const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+std::size_t DecisionTreeRegressor::num_leaves() const {
+  std::size_t leaves = 0;
+  for (const auto& node : nodes_) leaves += (node.feature < 0) ? 1 : 0;
+  return leaves;
+}
+
+int DecisionTreeRegressor::depth_of(std::int32_t node) const {
+  const Node& cur = nodes_[static_cast<std::size_t>(node)];
+  if (cur.feature < 0) return 0;
+  return 1 + std::max(depth_of(cur.left), depth_of(cur.right));
+}
+
+int DecisionTreeRegressor::depth() const {
+  ADSE_REQUIRE(fitted());
+  // Iterative depth (the tree can be deep on pathological data).
+  std::vector<std::pair<std::int32_t, int>> stack{{root_, 0}};
+  int deepest = 0;
+  while (!stack.empty()) {
+    const auto [slot, d] = stack.back();
+    stack.pop_back();
+    const Node& cur = nodes_[static_cast<std::size_t>(slot)];
+    if (cur.feature < 0) {
+      deepest = std::max(deepest, d);
+    } else {
+      stack.emplace_back(cur.left, d + 1);
+      stack.emplace_back(cur.right, d + 1);
+    }
+  }
+  return deepest;
+}
+
+std::vector<double> DecisionTreeRegressor::impurity_importance() const {
+  ADSE_REQUIRE(fitted());
+  std::vector<double> importance(num_features_, 0.0);
+  for (const auto& node : nodes_) {
+    if (node.feature < 0) continue;
+    const Node& l = nodes_[static_cast<std::size_t>(node.left)];
+    const Node& r = nodes_[static_cast<std::size_t>(node.right)];
+    const double decrease = node.impurity - l.impurity - r.impurity;
+    importance[static_cast<std::size_t>(node.feature)] += std::max(0.0, decrease);
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+std::string DecisionTreeRegressor::dump(
+    int max_depth, const std::vector<std::string>& feature_names) const {
+  ADSE_REQUIRE(fitted());
+  std::ostringstream os;
+  std::vector<std::tuple<std::int32_t, int>> stack;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    const auto [slot, d] = stack.back();
+    stack.pop_back();
+    const Node& cur = nodes_[static_cast<std::size_t>(slot)];
+    os << std::string(static_cast<std::size_t>(d) * 2, ' ');
+    if (cur.feature < 0 || d >= max_depth) {
+      os << "value=" << cur.value << " (n=" << cur.n_samples << ")\n";
+      continue;
+    }
+    const auto f = static_cast<std::size_t>(cur.feature);
+    os << (f < feature_names.size() ? feature_names[f]
+                                    : "x[" + std::to_string(cur.feature) + "]")
+       << " <= " << cur.threshold << " (n=" << cur.n_samples << ")\n";
+    stack.emplace_back(cur.right, d + 1);
+    stack.emplace_back(cur.left, d + 1);
+  }
+  return os.str();
+}
+
+}  // namespace adse::ml

@@ -1,0 +1,100 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+
+RandomForestRegressor::RandomForestRegressor(const ForestOptions& options)
+    : options_(options) {
+  ADSE_REQUIRE(options_.num_trees >= 1);
+  ADSE_REQUIRE(options_.sample_fraction > 0.0 &&
+               options_.sample_fraction <= 1.0);
+}
+
+void RandomForestRegressor::fit(const Dataset& data) {
+  data.check();
+  ADSE_REQUIRE_MSG(data.num_rows() >= 2, "forest needs at least 2 rows");
+  trees_.clear();
+  num_features_ = data.num_features();
+
+  Rng rng(options_.seed);
+  const std::size_t n = data.num_rows();
+  const auto sample_size = static_cast<std::size_t>(
+      std::max(1.0, options_.sample_fraction * static_cast<double>(n)));
+
+  // Out-of-bag accumulators.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<int> oob_count(n, 0);
+  std::vector<std::uint8_t> in_bag(n);
+
+  trees_.reserve(static_cast<std::size_t>(options_.num_trees));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap resample (with replacement).
+    Dataset sample;
+    sample.feature_names = data.feature_names;
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      const std::size_t row = rng.index(n);
+      in_bag[row] = 1;
+      sample.add_row(data.x[row], data.y[row]);
+    }
+
+    TreeOptions tree_options = options_.tree;
+    tree_options.max_features = options_.max_features;
+    tree_options.seed = rng.next();
+    DecisionTreeRegressor tree(tree_options);
+    tree.fit(sample);
+
+    for (std::size_t row = 0; row < n; ++row) {
+      if (!in_bag[row]) {
+        oob_sum[row] += tree.predict(data.x[row]);
+        oob_count[row]++;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  std::size_t covered = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    if (oob_count[row] > 0) {
+      total += std::abs(oob_sum[row] / oob_count[row] - data.y[row]);
+      covered++;
+    }
+  }
+  oob_mae_ = covered > 0 ? total / static_cast<double>(covered) : 0.0;
+}
+
+double RandomForestRegressor::predict(const std::vector<double>& row) const {
+  ADSE_REQUIRE_MSG(fitted(), "predict() before fit()");
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.predict(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::predict_all(
+    const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+std::vector<double> RandomForestRegressor::impurity_importance() const {
+  ADSE_REQUIRE(fitted());
+  std::vector<double> total(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto imp = tree.impurity_importance();
+    for (std::size_t f = 0; f < num_features_; ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace adse::ml

@@ -1,0 +1,61 @@
+#pragma once
+/// \file forest.hpp
+/// Bagged random-forest regression — the "more complex surrogate model"
+/// extension the paper sketches in §VII. A single unconstrained CART tree
+/// (the paper's model) is high-variance at small campaign sizes; averaging
+/// bootstrap-resampled trees with per-split feature subsampling recovers
+/// much of the accuracy that would otherwise require a far larger campaign.
+/// The per-app single tree remains the canonical reproduction; the forest is
+/// evaluated side by side in the ablation benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace adse::ml {
+
+struct ForestOptions {
+  int num_trees = 50;
+  /// Features considered per split (0 = all, i.e. pure bagging;
+  /// a common default is ~ num_features / 3 for regression).
+  int max_features = 0;
+  /// Bootstrap sample size as a fraction of the training rows.
+  double sample_fraction = 1.0;
+  /// Per-tree growth options (criterion, depth, leaf limits).
+  TreeOptions tree;
+  std::uint64_t seed = 1;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(const ForestOptions& options = {});
+
+  /// Fits `num_trees` trees on bootstrap resamples of `data`.
+  void fit(const Dataset& data);
+
+  /// Mean prediction over the ensemble.
+  double predict(const std::vector<double>& row) const;
+  std::vector<double> predict_all(const Dataset& data) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  std::size_t num_trees() const { return trees_.size(); }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Mean out-of-bag absolute error: each row is predicted only by trees
+  /// whose bootstrap sample excluded it — an internal generalisation
+  /// estimate requiring no held-out split.
+  double oob_mae() const { return oob_mae_; }
+
+  /// Ensemble impurity importance (mean of per-tree importances).
+  std::vector<double> impurity_importance() const;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTreeRegressor> trees_;
+  std::size_t num_features_ = 0;
+  double oob_mae_ = 0.0;
+};
+
+}  // namespace adse::ml

@@ -1,0 +1,81 @@
+#include "ml/importance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+#include "ml/metrics.hpp"
+
+namespace adse::ml {
+
+ImportanceResult permutation_importance(const BatchPredictor& predict,
+                                        std::size_t model_features,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options) {
+  data.check();
+  ADSE_REQUIRE(options.repeats >= 1);
+  ADSE_REQUIRE(model_features == data.num_features());
+
+  ImportanceResult result;
+  result.baseline_mae = mae(data.y, predict(data));
+  result.mae_increase.assign(data.num_features(), 0.0);
+
+  Dataset shuffled = data;  // mutate one column at a time
+  std::vector<double> column(data.num_rows());
+
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    double total = 0.0;
+    for (int rep = 0; rep < options.repeats; ++rep) {
+      for (std::size_t r = 0; r < data.num_rows(); ++r) column[r] = data.x[r][f];
+      rng.shuffle(column);
+      for (std::size_t r = 0; r < data.num_rows(); ++r) {
+        shuffled.x[r][f] = column[r];
+      }
+      total += mae(shuffled.y, predict(shuffled));
+    }
+    // Restore the column before moving on.
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+      shuffled.x[r][f] = data.x[r][f];
+    }
+    result.mae_increase[f] =
+        total / static_cast<double>(options.repeats) - result.baseline_mae;
+  }
+
+  double summed = 0.0;
+  for (double v : result.mae_increase) summed += std::max(0.0, v);
+  result.percent.assign(data.num_features(), 0.0);
+  if (summed > 0.0) {
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      result.percent[f] = 100.0 * std::max(0.0, result.mae_increase[f]) / summed;
+    }
+  }
+  return result;
+}
+
+ImportanceResult permutation_importance(const DecisionTreeRegressor& model,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options) {
+  return permutation_importance(
+      [&model](const Dataset& d) { return model.predict_all(d); },
+      model.num_features(), data, rng, options);
+}
+
+ImportanceResult permutation_importance(const RandomForestRegressor& model,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options) {
+  return permutation_importance(
+      [&model](const Dataset& d) { return model.predict_all(d); },
+      model.num_features(), data, rng, options);
+}
+
+std::vector<std::size_t> rank_features(const ImportanceResult& result) {
+  std::vector<std::size_t> order(result.percent.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.percent[a] > result.percent[b];
+                   });
+  return order;
+}
+
+}  // namespace adse::ml

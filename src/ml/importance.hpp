@@ -1,0 +1,55 @@
+#pragma once
+/// \file importance.hpp
+/// Permutation feature importance — the introspection method of §VI-B:
+/// "randomly shuffles the values of each feature before predicting our
+/// output variable and scoring the model with the mean absolute error
+/// criterion. This method is repeated 10 times, taking the mean error ...
+/// Finally, we contextualise this data by expressing the importance as the
+/// percentage of the summed error increase across all features."
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/forest.hpp"
+
+namespace adse::ml {
+
+struct ImportanceOptions {
+  int repeats = 10;  ///< shuffles per feature (paper: 10)
+};
+
+struct ImportanceResult {
+  /// Mean MAE increase per feature (raw importance; can be ~0 or slightly
+  /// negative for irrelevant features).
+  std::vector<double> mae_increase;
+  /// The paper's metric: max(raw, 0) as a percentage of the summed error
+  /// increase across all features. Sums to 100 when any feature matters.
+  std::vector<double> percent;
+  double baseline_mae = 0.0;
+};
+
+/// Batch-prediction interface: any regressor exposing predict_all.
+using BatchPredictor = std::function<std::vector<double>(const Dataset&)>;
+
+/// Computes permutation importance of an arbitrary predictor on `data`
+/// (typically the held-out split). Deterministic for a given RNG state.
+ImportanceResult permutation_importance(const BatchPredictor& predict,
+                                        std::size_t model_features,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options = {});
+
+/// Convenience overloads for the two built-in regressors.
+ImportanceResult permutation_importance(const DecisionTreeRegressor& model,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options = {});
+ImportanceResult permutation_importance(const RandomForestRegressor& model,
+                                        const Dataset& data, Rng& rng,
+                                        const ImportanceOptions& options = {});
+
+/// Indices of features sorted by descending percentage importance.
+std::vector<std::size_t> rank_features(const ImportanceResult& result);
+
+}  // namespace adse::ml

@@ -1,0 +1,76 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace adse::ml {
+
+namespace {
+void check_sizes(const std::vector<double>& truth,
+                 const std::vector<double>& pred) {
+  ADSE_REQUIRE(truth.size() == pred.size());
+  ADSE_REQUIRE(!truth.empty());
+}
+}  // namespace
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    total += std::abs(truth[i] - pred[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+double mape(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ADSE_REQUIRE_MSG(truth[i] != 0.0, "MAPE undefined for zero truth value");
+    total += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double mean_accuracy_percent(const std::vector<double>& truth,
+                             const std::vector<double>& pred) {
+  return 100.0 * (1.0 - mape(truth, pred));
+}
+
+double r2(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  const double mean_y = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean_y) * (truth[i] - mean_y);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+std::vector<double> within_tolerance_curve(
+    const std::vector<double>& truth, const std::vector<double>& pred,
+    const std::vector<double>& tolerances) {
+  check_sizes(truth, pred);
+  std::vector<double> out;
+  out.reserve(tolerances.size());
+  for (double tol : tolerances) {
+    out.push_back(fraction_within(truth, pred, tol));
+  }
+  return out;
+}
+
+}  // namespace adse::ml

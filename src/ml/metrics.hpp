@@ -1,0 +1,33 @@
+#pragma once
+/// \file metrics.hpp
+/// Regression metrics used by §VI-A: confidence-interval accuracy (Fig. 2),
+/// the 93.38% "mean accuracy" headline, plus standard MAE/RMSE/R².
+
+#include <vector>
+
+namespace adse::ml {
+
+/// Mean absolute error.
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Mean absolute percentage error (fraction, not %). Truth values of 0 are
+/// rejected (cycle counts are always positive).
+double mape(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// The paper's headline metric: 100% - MAPE%, "the average prediction is
+/// 6.62% away from the simulated true result" -> 93.38% mean accuracy.
+double mean_accuracy_percent(const std::vector<double>& truth,
+                             const std::vector<double>& pred);
+
+/// Coefficient of determination.
+double r2(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Fig. 2's series: fraction of predictions within each relative tolerance.
+std::vector<double> within_tolerance_curve(const std::vector<double>& truth,
+                                           const std::vector<double>& pred,
+                                           const std::vector<double>& tolerances);
+
+}  // namespace adse::ml

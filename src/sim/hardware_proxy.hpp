@@ -1,0 +1,58 @@
+#pragma once
+/// \file hardware_proxy.hpp
+/// The stand-in for the paper's Marvell ThunderX2 silicon (Table I).
+///
+/// The paper validates its simulator against real hardware and attributes
+/// the residual error to effects its SST setup simplifies: "basic
+/// prefetching algorithms, as well as abstracting out important features of
+/// a modern memory subsystem such as memory banking" (§IV-B). The proxy is
+/// therefore *the same core model with those effects turned on*:
+///
+///   * a deeper, L2-resident hardware prefetcher (real TX2 prefetching is
+///     far better than next-line — this makes regular codes faster than the
+///     campaign simulator predicts, the TeaLeaf direction in Table I),
+///   * finite cache banks and finite MSHRs (penalising irregular access,
+///     the MiniSweep direction),
+///   * TLB walks and periodic branch mispredictions (uniform overheads).
+///
+/// Campaign-simulator vs proxy on the TX2 baseline config reproduces the
+/// shape of Table I: streaming/compute codes validate closely, the stencil
+/// and wavefront codes diverge by tens of percent.
+
+#include "sim/simulation.hpp"
+
+namespace adse::sim {
+
+/// Fidelity knobs; defaults are the Table-I reproduction settings.
+struct ProxyOptions {
+  /// Extra prefetch depth for L2-served misses (repeat streams — real L2
+  /// prefetchers excel here; this is what makes hardware TeaLeaf faster than
+  /// the simulator predicts) and DRAM-served misses (cold streams — far less
+  /// timely in silicon).
+  int prefetch_boost_l2 = 12;
+  int prefetch_boost_ram = 0;
+  int finite_banks = 16;        ///< L1 banks (line-interleaved)
+  int mshr_entries = 16;
+  bool model_tlb = true;
+  int mispredict_interval = 0;  ///< fixed-interval flushes (off: exits dominate)
+  bool mispredict_loop_exits = true;  ///< predictors miss loop exits
+  int mispredict_penalty = 14;
+  /// Real store->load forwarding cost (the campaign model idealises it to 1).
+  int forward_latency = 12;
+  /// Memory-controller effects (refresh/turnaround/queuing) the simple DRAM
+  /// model abstracts away — these offset the prefetcher's gains on
+  /// bandwidth-bound streaming codes.
+  double dram_latency_scale = 1.05;
+  double dram_interval_scale = 2.60;
+};
+
+/// Runs `program` on the proxy ("hardware") model.
+RunResult simulate_hardware(const config::CpuConfig& config,
+                            const isa::Program& program,
+                            const ProxyOptions& options = {});
+
+RunResult simulate_hardware_app(const config::CpuConfig& config,
+                                kernels::App app,
+                                const ProxyOptions& options = {});
+
+}  // namespace adse::sim

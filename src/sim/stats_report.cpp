@@ -1,0 +1,78 @@
+#include "sim/stats_report.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "isa/microop.hpp"
+
+namespace adse::sim {
+
+namespace {
+
+std::string grouped(std::uint64_t v) {
+  return format_grouped(static_cast<long long>(v));
+}
+
+}  // namespace
+
+std::string render_stats(const RunResult& result) {
+  std::ostringstream os;
+  os << "[" << result.app << " @ " << result.config_name << "]\n";
+
+  TextTable headline({"statistic", "value"});
+  headline.add_row({"cycles", grouped(result.core.cycles)});
+  headline.add_row({"retired µops", grouped(result.core.retired)});
+  headline.add_row({"ipc", format_fixed(result.core.ipc(), 3)});
+  headline.add_row(
+      {"retired SVE %", format_fixed(result.core.sve_fraction() * 100.0, 2)});
+  headline.add_row({"loop-buffer µops", grouped(result.core.loop_buffer_ops)});
+  os << headline.render() << '\n';
+
+  TextTable mix({"group", "retired"});
+  for (int g = 0; g < isa::kNumInstrGroups; ++g) {
+    const auto count = result.core.retired_by_group[g];
+    if (count == 0) continue;
+    mix.add_row({isa::group_name(static_cast<isa::InstrGroup>(g)),
+                 grouped(count)});
+  }
+  os << "retirement mix:\n" << mix.render() << '\n';
+
+  TextTable stalls({"frontend stall source", "cycles"});
+  stalls.add_row({"fetch block exhausted", grouped(result.core.stall_fetch_bytes)});
+  const char* reg_names[] = {"GP rename regs", "FP/SVE rename regs",
+                             "predicate rename regs", "NZCV rename regs"};
+  for (int c = 0; c < isa::kNumRegClasses; ++c) {
+    stalls.add_row({reg_names[c], grouped(result.core.stall_no_phys[c])});
+  }
+  stalls.add_row({"ROB full", grouped(result.core.stall_rob_full)});
+  stalls.add_row({"RS full", grouped(result.core.stall_rs_full)});
+  stalls.add_row({"load queue full", grouped(result.core.stall_lq_full)});
+  stalls.add_row({"store queue full", grouped(result.core.stall_sq_full)});
+  os << "stall attribution:\n" << stalls.render() << '\n';
+
+  TextTable memory({"memory", "count"});
+  memory.add_row({"loads sent", grouped(result.core.loads_sent)});
+  memory.add_row({"stores sent", grouped(result.core.stores_sent)});
+  memory.add_row({"store->load forwards", grouped(result.core.loads_forwarded)});
+  memory.add_row({"L1 hits", grouped(result.mem.l1_hits)});
+  memory.add_row({"L1 misses", grouped(result.mem.l1_misses)});
+  memory.add_row({"L2 hits", grouped(result.mem.l2_hits)});
+  memory.add_row({"DRAM requests", grouped(result.mem.ram_requests)});
+  memory.add_row({"dirty writebacks", grouped(result.mem.dirty_writebacks)});
+  memory.add_row({"prefetch fills", grouped(result.mem.prefetch_fills)});
+  os << "memory hierarchy:\n" << memory.render();
+  return os.str();
+}
+
+std::string summarize(const RunResult& result) {
+  std::ostringstream os;
+  os << result.app << " on " << result.config_name << ": "
+     << grouped(result.core.cycles) << " cycles, IPC "
+     << format_fixed(result.core.ipc(), 2) << ", "
+     << format_fixed(result.core.sve_fraction() * 100.0, 1) << "% SVE, L1 hit "
+     << format_fixed(result.mem.l1_hit_rate() * 100.0, 1) << "%";
+  return os.str();
+}
+
+}  // namespace adse::sim

@@ -1,0 +1,167 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace adse::mem {
+namespace {
+
+CacheGeometry geom(std::uint64_t size, std::uint32_t line, std::uint32_t assoc) {
+  return CacheGeometry{size, line, assoc};
+}
+
+TEST(CacheGeometry, DerivedCounts) {
+  const CacheGeometry g = geom(32 * 1024, 64, 8);
+  EXPECT_EQ(g.num_lines(), 512u);
+  EXPECT_EQ(g.num_sets(), 64u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(geom(32 * 1024, 48, 8)), InvariantError);   // line not pow2
+  EXPECT_THROW(Cache(geom(30 * 1024, 64, 8)), InvariantError);   // sets not pow2
+  EXPECT_THROW(Cache(geom(32 * 1024, 64, 0)), InvariantError);   // zero assoc
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(geom(1024, 64, 2));
+  EXPECT_FALSE(c.access(0x100, false));
+  c.insert(0x100, false);
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x13f, false));  // same line
+  EXPECT_FALSE(c.access(0x140, false)); // next line
+}
+
+TEST(Cache, ContainsDoesNotTouchState) {
+  Cache c(geom(256, 64, 2));  // 2 sets x 2 ways
+  // Fill set 0 (lines 0x000 and 0x100 map to set 0 with 2 sets of 64B lines).
+  c.insert(0x000, false);
+  c.insert(0x100, false);
+  // contains() must not refresh LRU: probing 0x000 then inserting a third
+  // line should still evict 0x000 (the LRU victim).
+  EXPECT_TRUE(c.contains(0x000));
+  const Eviction ev = c.insert(0x200, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.line_addr, 0x000u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(geom(256, 64, 2));  // 2 sets, 2 ways
+  c.insert(0x000, false);
+  c.insert(0x100, false);
+  c.access(0x000, false);  // refresh 0x000 -> victim should be 0x100
+  const Eviction ev = c.insert(0x200, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.line_addr, 0x100u);
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_TRUE(c.contains(0x200));
+  EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c(geom(128, 64, 1));  // direct-mapped, 2 sets
+  c.insert(0x000, true);      // dirty line in set 0
+  const Eviction ev = c.insert(0x080, false);  // same set (2 sets of 64B)
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.line_addr, 0x000u);
+}
+
+TEST(Cache, CleanEvictionNotDirty) {
+  Cache c(geom(128, 64, 1));
+  c.insert(0x000, false);
+  const Eviction ev = c.insert(0x080, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_FALSE(ev.dirty);
+}
+
+TEST(Cache, StoreAccessMarksDirty) {
+  Cache c(geom(128, 64, 1));
+  c.insert(0x000, false);
+  EXPECT_TRUE(c.access(0x000, true));  // store hit dirties the line
+  const Eviction ev = c.insert(0x080, false);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, InsertExistingLineMergesDirty) {
+  Cache c(geom(128, 64, 2));
+  c.insert(0x000, false);
+  const Eviction ev = c.insert(0x000, true);  // re-insert dirty
+  EXPECT_FALSE(ev.evicted);
+  c.insert(0x040, false);
+  const Eviction ev2 = c.insert(0x080, false);  // evicts 0x000 (LRU... )
+  // 2 sets: 0x000 and 0x080 share set 0; 0x040 is set 1.
+  EXPECT_TRUE(ev2.evicted);
+  EXPECT_TRUE(ev2.dirty);
+}
+
+TEST(Cache, InsertPrefersInvalidWay) {
+  Cache c(geom(256, 64, 2));
+  const Eviction ev1 = c.insert(0x000, false);
+  EXPECT_FALSE(ev1.evicted);
+  const Eviction ev2 = c.insert(0x100, false);
+  EXPECT_FALSE(ev2.evicted);  // second way was free
+}
+
+TEST(Cache, ResetInvalidatesEverything) {
+  Cache c(geom(1024, 64, 4));
+  for (std::uint64_t a = 0; a < 1024; a += 64) c.insert(a, true);
+  c.reset();
+  for (std::uint64_t a = 0; a < 1024; a += 64) EXPECT_FALSE(c.contains(a));
+  // And no phantom dirty evictions after reset.
+  const Eviction ev = c.insert(0x000, false);
+  EXPECT_FALSE(ev.evicted);
+}
+
+TEST(Cache, LineAddrMasksOffset) {
+  Cache c(geom(1024, 64, 4));
+  EXPECT_EQ(c.line_addr(0x12345), 0x12340u);
+  EXPECT_EQ(c.line_addr(0x12340), 0x12340u);
+}
+
+TEST(Cache, FullyAssociativeSingleSet) {
+  Cache c(geom(256, 64, 4));  // one set, 4 ways
+  for (std::uint64_t a = 0; a < 4 * 64; a += 64) c.insert(a, false);
+  for (std::uint64_t a = 0; a < 4 * 64; a += 64) EXPECT_TRUE(c.contains(a));
+  const Eviction ev = c.insert(0x1000, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.line_addr, 0x000u);  // LRU = first inserted
+}
+
+// Parameterised capacity property: inserting exactly num_lines distinct
+// conflict-free lines fills the cache with no eviction; one more line evicts.
+struct GeomCase {
+  std::uint64_t size;
+  std::uint32_t line;
+  std::uint32_t assoc;
+};
+
+class CacheCapacity : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(CacheCapacity, SequentialFillExactlyFits) {
+  const auto& p = GetParam();
+  Cache c(geom(p.size, p.line, p.assoc));
+  // Sequential lines spread uniformly over sets: capacity misses only.
+  for (std::uint64_t a = 0; a < p.size; a += p.line) {
+    const Eviction ev = c.insert(a, false);
+    EXPECT_FALSE(ev.evicted) << "line " << a;
+  }
+  for (std::uint64_t a = 0; a < p.size; a += p.line) {
+    EXPECT_TRUE(c.contains(a));
+  }
+  EXPECT_TRUE(c.insert(p.size, false).evicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheCapacity,
+    ::testing::Values(GeomCase{4096, 16, 1}, GeomCase{4096, 64, 4},
+                      GeomCase{32768, 64, 8}, GeomCase{65536, 256, 16},
+                      GeomCase{131072, 128, 2}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.size) + "_l" +
+             std::to_string(info.param.line) + "_a" +
+             std::to_string(info.param.assoc);
+    });
+
+}  // namespace
+}  // namespace adse::mem

@@ -1,0 +1,140 @@
+#include "campaign/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/require.hpp"
+
+namespace adse::campaign {
+namespace {
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.label = "test";
+  spec.num_configs = 12;
+  spec.seed = 7;
+  spec.threads = 2;
+  spec.verbose = false;
+  return spec;
+}
+
+TEST(Campaign, FeatureNamesMatchParamOrder) {
+  const auto names = feature_names();
+  ASSERT_EQ(names.size(), config::kNumParams);
+  EXPECT_EQ(names.front(), "vector_length_bits");
+  EXPECT_EQ(names.back(), "prefetch_distance");
+}
+
+TEST(Campaign, CyclesColumnNames) {
+  EXPECT_EQ(cycles_column(kernels::App::kStream), "stream_cycles");
+  EXPECT_EQ(cycles_column(kernels::App::kMiniSweep), "minisweep_cycles");
+}
+
+TEST(Campaign, RunProducesConsistentDatasets) {
+  const CampaignResult result = run_campaign(tiny_spec());
+  EXPECT_EQ(result.table.num_rows(), 12u);
+  EXPECT_EQ(result.table.num_cols(),
+            config::kNumParams + static_cast<std::size_t>(kernels::kNumApps));
+  for (kernels::App app : kernels::all_apps()) {
+    const auto& ds = result.dataset(app);
+    EXPECT_EQ(ds.num_rows(), 12u);
+    EXPECT_EQ(ds.num_features(), config::kNumParams);
+    for (double y : ds.y) EXPECT_GT(y, 0.0);
+    ds.check();
+  }
+}
+
+TEST(Campaign, RowsAreValidConfigurations) {
+  const CampaignResult result = run_campaign(tiny_spec());
+  for (const auto& row : result.table.rows) {
+    std::array<double, config::kNumParams> features{};
+    std::copy_n(row.begin(), config::kNumParams, features.begin());
+    EXPECT_NO_THROW(config::validate(config::config_from_features(features)));
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  CampaignSpec one = tiny_spec();
+  one.threads = 1;
+  CampaignSpec four = tiny_spec();
+  four.threads = 4;
+  const CampaignResult a = run_campaign(one);
+  const CampaignResult b = run_campaign(four);
+  EXPECT_EQ(a.table.rows, b.table.rows);
+}
+
+TEST(Campaign, SeedChangesData) {
+  CampaignSpec other = tiny_spec();
+  other.seed = 8;
+  EXPECT_NE(run_campaign(tiny_spec()).table.rows,
+            run_campaign(other).table.rows);
+}
+
+TEST(Campaign, VlPinIsRespected) {
+  CampaignSpec spec = tiny_spec();
+  spec.fixed_vector_length = 512;
+  const CampaignResult result = run_campaign(spec);
+  const auto vl = result.table.column("vector_length_bits");
+  for (double v : vl) EXPECT_DOUBLE_EQ(v, 512.0);
+}
+
+TEST(Campaign, ResultFromTableRoundTrips) {
+  const CampaignResult original = run_campaign(tiny_spec());
+  CsvTable copy = original.table;
+  const CampaignResult back = result_from_table(std::move(copy));
+  for (kernels::App app : kernels::all_apps()) {
+    EXPECT_EQ(back.dataset(app).y, original.dataset(app).y);
+    EXPECT_EQ(back.dataset(app).x, original.dataset(app).x);
+  }
+}
+
+TEST(Campaign, ResultFromTableRejectsBadSchema) {
+  CsvTable bad;
+  bad.columns = {"wrong"};
+  EXPECT_THROW(result_from_table(std::move(bad)), InvariantError);
+}
+
+TEST(Campaign, CachePathEncodesSpec) {
+  CampaignSpec spec = tiny_spec();
+  spec.fixed_vector_length = 128;
+  const std::string path = cache_path(spec);
+  EXPECT_NE(path.find("test"), std::string::npos);
+  EXPECT_NE(path.find("n12"), std::string::npos);
+  EXPECT_NE(path.find("s7"), std::string::npos);
+  EXPECT_NE(path.find("vl128"), std::string::npos);
+}
+
+TEST(Campaign, LoadOrRunUsesCache) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_campaign_test";
+  std::filesystem::remove_all(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  CampaignSpec spec = tiny_spec();
+  spec.num_configs = 10;
+  const CampaignResult first = load_or_run(spec);
+  EXPECT_TRUE(file_exists(cache_path(spec)));
+  const CampaignResult second = load_or_run(spec);  // served from cache
+  EXPECT_EQ(first.table.rows, second.table.rows);
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, DefaultSpecsHonourEnv) {
+  setenv("ADSE_CONFIGS", "123", 1);
+  setenv("ADSE_SEED", "9", 1);
+  const CampaignSpec spec = main_campaign_spec();
+  EXPECT_EQ(spec.num_configs, 123);
+  EXPECT_EQ(spec.seed, 9u);
+  unsetenv("ADSE_CONFIGS");
+  unsetenv("ADSE_SEED");
+
+  const CampaignSpec pinned = constrained_campaign_spec(2048);
+  EXPECT_EQ(pinned.fixed_vector_length, 2048);
+  EXPECT_NE(pinned.seed, main_campaign_spec().seed);
+}
+
+}  // namespace
+}  // namespace adse::campaign

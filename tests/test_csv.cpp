@@ -1,0 +1,129 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace adse {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "adse_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.columns = {"a", "b", "c"};
+  t.rows = {{1.0, 2.5, -3.0}, {4.0, 0.0, 1e-9}};
+  write_csv(path("t.csv"), t);
+  const CsvTable back = read_csv(path("t.csv"));
+  EXPECT_EQ(back.columns, t.columns);
+  ASSERT_EQ(back.num_rows(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(back.rows[r][c], t.rows[r][c]);
+    }
+  }
+}
+
+TEST_F(CsvTest, RoundTripsExtremeDoubles) {
+  CsvTable t;
+  t.columns = {"x"};
+  t.rows = {{1.0 / 3.0}, {1e308}, {5e-324}, {-0.1234567890123456}};
+  write_csv(path("x.csv"), t);
+  const CsvTable back = read_csv(path("x.csv"));
+  for (std::size_t r = 0; r < t.rows.size(); ++r) {
+    EXPECT_DOUBLE_EQ(back.rows[r][0], t.rows[r][0]);
+  }
+}
+
+TEST_F(CsvTest, ColumnAccess) {
+  CsvTable t;
+  t.columns = {"first", "second"};
+  t.rows = {{1, 10}, {2, 20}, {3, 30}};
+  EXPECT_EQ(t.column_index("second"), 1u);
+  EXPECT_EQ(t.column("second"), (std::vector<double>{10, 20, 30}));
+  EXPECT_THROW(t.column_index("missing"), InvariantError);
+}
+
+TEST_F(CsvTest, EmptyTableRoundTrip) {
+  CsvTable t;
+  t.columns = {"only_header"};
+  write_csv(path("empty.csv"), t);
+  const CsvTable back = read_csv(path("empty.csv"));
+  EXPECT_EQ(back.columns.size(), 1u);
+  EXPECT_EQ(back.num_rows(), 0u);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv(path("nope.csv")), InvariantError);
+}
+
+TEST_F(CsvTest, ReadRaggedRowThrows) {
+  std::ofstream f(path("ragged.csv"));
+  f << "a,b\n1,2\n3\n";
+  f.close();
+  EXPECT_THROW(read_csv(path("ragged.csv")), InvariantError);
+}
+
+TEST_F(CsvTest, ReadNonNumericThrows) {
+  std::ofstream f(path("alpha.csv"));
+  f << "a\nhello\n";
+  f.close();
+  EXPECT_THROW(read_csv(path("alpha.csv")), InvariantError);
+}
+
+TEST_F(CsvTest, ReadEmptyFileThrows) {
+  std::ofstream f(path("zero.csv"));
+  f.close();
+  EXPECT_THROW(read_csv(path("zero.csv")), InvariantError);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream f(path("blank.csv"));
+  f << "a\n1\n\n2\n  \n";
+  f.close();
+  const CsvTable t = read_csv(path("blank.csv"));
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(CsvTest, WriteRaggedRowThrows) {
+  CsvTable t;
+  t.columns = {"a", "b"};
+  t.rows = {{1.0}};
+  EXPECT_THROW(write_csv(path("bad.csv"), t), InvariantError);
+}
+
+TEST_F(CsvTest, FileExists) {
+  EXPECT_FALSE(file_exists(path("q.csv")));
+  CsvTable t;
+  t.columns = {"a"};
+  write_csv(path("q.csv"), t);
+  EXPECT_TRUE(file_exists(path("q.csv")));
+  EXPECT_FALSE(file_exists(dir_.string()));  // a directory is not a file
+}
+
+TEST_F(CsvTest, HeaderWhitespaceTrimmed) {
+  std::ofstream f(path("ws.csv"));
+  f << " a , b \n1,2\n";
+  f.close();
+  const CsvTable t = read_csv(path("ws.csv"));
+  EXPECT_EQ(t.columns[0], "a");
+  EXPECT_EQ(t.columns[1], "b");
+}
+
+}  // namespace
+}  // namespace adse

@@ -1,0 +1,110 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+namespace {
+
+Dataset make_dataset(std::size_t rows) {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    d.add_row({static_cast<double>(i), static_cast<double>(i * 2)},
+              static_cast<double>(i * 10));
+  }
+  return d;
+}
+
+TEST(Dataset, AddRowValidatesWidth) {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  EXPECT_THROW(d.add_row({1.0}, 0.0), InvariantError);
+  EXPECT_NO_THROW(d.add_row({1.0, 2.0}, 0.0));
+  EXPECT_EQ(d.num_rows(), 1u);
+  EXPECT_EQ(d.num_features(), 2u);
+}
+
+TEST(Dataset, CheckDetectsRaggedRows) {
+  Dataset d = make_dataset(3);
+  d.x[1].push_back(99.0);
+  EXPECT_THROW(d.check(), InvariantError);
+}
+
+TEST(Dataset, CheckDetectsTargetMismatch) {
+  Dataset d = make_dataset(3);
+  d.y.pop_back();
+  EXPECT_THROW(d.check(), InvariantError);
+}
+
+TEST(Split, SizesFollowFraction) {
+  const Dataset d = make_dataset(100);
+  Rng rng(1);
+  const auto split = train_test_split(d, 0.8, rng);
+  EXPECT_EQ(split.train.num_rows(), 80u);
+  EXPECT_EQ(split.test.num_rows(), 20u);
+  EXPECT_EQ(split.train.feature_names, d.feature_names);
+}
+
+TEST(Split, PartitionIsExactAndDisjoint) {
+  const Dataset d = make_dataset(50);
+  Rng rng(2);
+  const auto split = train_test_split(d, 0.7, rng);
+  std::multiset<double> targets;
+  for (double y : split.train.y) targets.insert(y);
+  for (double y : split.test.y) targets.insert(y);
+  std::multiset<double> original(d.y.begin(), d.y.end());
+  EXPECT_EQ(targets, original);
+}
+
+TEST(Split, RowsStayAlignedWithTargets) {
+  const Dataset d = make_dataset(40);
+  Rng rng(3);
+  const auto split = train_test_split(d, 0.5, rng);
+  for (std::size_t i = 0; i < split.train.num_rows(); ++i) {
+    // y = 10*a by construction.
+    EXPECT_DOUBLE_EQ(split.train.y[i], split.train.x[i][0] * 10.0);
+  }
+}
+
+TEST(Split, DeterministicForSeed) {
+  const Dataset d = make_dataset(30);
+  Rng a(7), b(7);
+  const auto s1 = train_test_split(d, 0.8, a);
+  const auto s2 = train_test_split(d, 0.8, b);
+  EXPECT_EQ(s1.train.y, s2.train.y);
+  EXPECT_EQ(s1.test.y, s2.test.y);
+}
+
+TEST(Split, ActuallyShuffles) {
+  const Dataset d = make_dataset(100);
+  Rng rng(11);
+  const auto split = train_test_split(d, 0.8, rng);
+  // The train targets should not simply be the first 80 in order.
+  std::vector<double> first80(d.y.begin(), d.y.begin() + 80);
+  EXPECT_NE(split.train.y, first80);
+}
+
+TEST(Split, AlwaysLeavesBothSidesNonEmpty) {
+  const Dataset d = make_dataset(2);
+  Rng rng(1);
+  const auto split = train_test_split(d, 0.99, rng);
+  EXPECT_EQ(split.train.num_rows(), 1u);
+  EXPECT_EQ(split.test.num_rows(), 1u);
+}
+
+TEST(Split, RejectsDegenerateInputs) {
+  const Dataset d = make_dataset(1);
+  Rng rng(1);
+  EXPECT_THROW(train_test_split(d, 0.8, rng), InvariantError);
+  const Dataset ok = make_dataset(10);
+  EXPECT_THROW(train_test_split(ok, 0.0, rng), InvariantError);
+  EXPECT_THROW(train_test_split(ok, 1.0, rng), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse::ml

@@ -1,0 +1,64 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace adse {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* name : {"ADSE_TEST_VAR", "ADSE_CONFIGS",
+                             "ADSE_CONFIGS_CONSTRAINED", "ADSE_THREADS",
+                             "ADSE_SEED", "ADSE_CACHE_DIR"}) {
+      unsetenv(name);
+    }
+  }
+};
+
+TEST_F(EnvTest, StringFallback) {
+  EXPECT_EQ(env_string("ADSE_TEST_VAR", "fallback"), "fallback");
+  setenv("ADSE_TEST_VAR", "value", 1);
+  EXPECT_EQ(env_string("ADSE_TEST_VAR", "fallback"), "value");
+  setenv("ADSE_TEST_VAR", "", 1);  // empty counts as unset
+  EXPECT_EQ(env_string("ADSE_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, IntFallbackAndParse) {
+  EXPECT_EQ(env_int("ADSE_TEST_VAR", 7), 7);
+  setenv("ADSE_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("ADSE_TEST_VAR", 7), 42);
+  setenv("ADSE_TEST_VAR", "xyz", 1);
+  EXPECT_THROW(env_int("ADSE_TEST_VAR", 7), InvariantError);
+}
+
+TEST_F(EnvTest, CampaignKnobDefaults) {
+  EXPECT_EQ(main_campaign_configs(), 1500);
+  EXPECT_EQ(constrained_campaign_configs(), 500);
+  EXPECT_EQ(campaign_seed(), 42u);
+  EXPECT_GE(campaign_threads(), 1);
+  EXPECT_EQ(cache_dir(), "./adse_cache");
+}
+
+TEST_F(EnvTest, CampaignKnobOverrides) {
+  setenv("ADSE_CONFIGS", "77", 1);
+  setenv("ADSE_SEED", "5", 1);
+  setenv("ADSE_CACHE_DIR", "/tmp/elsewhere", 1);
+  EXPECT_EQ(main_campaign_configs(), 77);
+  EXPECT_EQ(campaign_seed(), 5u);
+  EXPECT_EQ(cache_dir(), "/tmp/elsewhere");
+}
+
+TEST_F(EnvTest, TooSmallCampaignRejected) {
+  setenv("ADSE_CONFIGS", "3", 1);
+  EXPECT_THROW(main_campaign_configs(), InvariantError);
+  setenv("ADSE_THREADS", "0", 1);
+  EXPECT_THROW(campaign_threads(), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse

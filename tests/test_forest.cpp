@@ -1,0 +1,137 @@
+#include "ml/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "ml/importance.hpp"
+#include "ml/metrics.hpp"
+
+namespace adse::ml {
+namespace {
+
+Dataset noisy_function(int n, std::uint64_t seed) {
+  Dataset d;
+  d.feature_names = {"x0", "x1", "x2"};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row{rng.uniform_real(0, 10), rng.uniform_real(0, 10),
+                            rng.uniform_real(0, 10)};
+    const double y =
+        20 * row[0] + row[1] * row[1] + rng.uniform_real(-5, 5);  // noise
+    d.add_row(std::move(row), y);
+  }
+  return d;
+}
+
+TEST(Forest, PredictBeforeFitThrows) {
+  RandomForestRegressor forest;
+  EXPECT_FALSE(forest.fitted());
+  EXPECT_THROW(forest.predict({1, 2, 3}), InvariantError);
+}
+
+TEST(Forest, InvalidOptionsThrow) {
+  ForestOptions bad;
+  bad.num_trees = 0;
+  EXPECT_THROW(RandomForestRegressor{bad}, InvariantError);
+  ForestOptions bad2;
+  bad2.sample_fraction = 0.0;
+  EXPECT_THROW(RandomForestRegressor{bad2}, InvariantError);
+}
+
+TEST(Forest, FitsAndPredicts) {
+  const Dataset train = noisy_function(600, 1);
+  const Dataset test = noisy_function(200, 2);
+  ForestOptions opts;
+  opts.num_trees = 30;
+  RandomForestRegressor forest(opts);
+  forest.fit(train);
+  EXPECT_EQ(forest.num_trees(), 30u);
+  EXPECT_GT(r2(test.y, forest.predict_all(test)), 0.9);
+}
+
+TEST(Forest, BeatsSingleTreeOnNoisyData) {
+  const Dataset train = noisy_function(500, 3);
+  const Dataset test = noisy_function(300, 4);
+  DecisionTreeRegressor tree;
+  tree.fit(train);
+  ForestOptions opts;
+  opts.num_trees = 40;
+  RandomForestRegressor forest(opts);
+  forest.fit(train);
+  EXPECT_LT(mae(test.y, forest.predict_all(test)),
+            mae(test.y, tree.predict_all(test)));
+}
+
+TEST(Forest, OobErrorEstimatesGeneralisation) {
+  const Dataset train = noisy_function(500, 5);
+  const Dataset test = noisy_function(300, 6);
+  ForestOptions opts;
+  opts.num_trees = 40;
+  RandomForestRegressor forest(opts);
+  forest.fit(train);
+  const double test_mae = mae(test.y, forest.predict_all(test));
+  EXPECT_GT(forest.oob_mae(), 0.0);
+  // OOB estimate within 2x of the true held-out error.
+  EXPECT_LT(forest.oob_mae(), test_mae * 2.0);
+  EXPECT_GT(forest.oob_mae(), test_mae * 0.5);
+}
+
+TEST(Forest, DeterministicForSeed) {
+  const Dataset d = noisy_function(200, 7);
+  ForestOptions opts;
+  opts.num_trees = 10;
+  opts.seed = 42;
+  RandomForestRegressor a(opts), b(opts);
+  a.fit(d);
+  b.fit(d);
+  EXPECT_EQ(a.predict_all(d), b.predict_all(d));
+}
+
+TEST(Forest, FeatureSubsamplingWorks) {
+  const Dataset d = noisy_function(300, 8);
+  ForestOptions opts;
+  opts.num_trees = 20;
+  opts.max_features = 1;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  EXPECT_GT(r2(d.y, forest.predict_all(d)), 0.5);
+}
+
+TEST(Forest, ImportanceFindsRelevantFeatures) {
+  const Dataset d = noisy_function(600, 9);
+  ForestOptions opts;
+  opts.num_trees = 25;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  const auto imp = forest.impurity_importance();
+  EXPECT_GT(imp[0], imp[2]);  // x0 matters, x2 is noise
+  EXPECT_GT(imp[1], imp[2]);
+  double total = 0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Forest, PermutationImportanceOverloadWorks) {
+  const Dataset d = noisy_function(400, 10);
+  ForestOptions opts;
+  opts.num_trees = 15;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  Rng rng(1);
+  const auto result = permutation_importance(forest, d, rng);
+  EXPECT_GT(result.percent[0], result.percent[2]);
+}
+
+TEST(Forest, SingleTreeForestMatchesBaggedTree) {
+  // One tree with full sampling fraction=1.0 still differs from a plain tree
+  // (bootstrap duplicates rows) but must remain a sane regressor.
+  const Dataset d = noisy_function(200, 11);
+  ForestOptions opts;
+  opts.num_trees = 1;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  EXPECT_GT(r2(d.y, forest.predict_all(d)), 0.8);
+}
+
+}  // namespace
+}  // namespace adse::ml

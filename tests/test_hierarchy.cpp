@@ -1,0 +1,256 @@
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "config/baselines.hpp"
+
+namespace adse::mem {
+namespace {
+
+config::MemParams base_params() {
+  config::MemParams p;  // defaults are a valid TX2-ish memory system
+  p.prefetch_distance = 0;  // most tests want no prefetch noise
+  return p;
+}
+
+TEST(Hierarchy, L1HitLatencyMatchesClockConversion) {
+  config::MemParams p = base_params();
+  p.l1_latency_cycles = 4;
+  p.l1_clock_ghz = 2.5;
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x1000, 8, false, 0);  // cold miss fills the line
+  const auto hit = m.access(0x1000, 8, false, 1000);
+  EXPECT_EQ(hit.ready_cycle, 1004u);  // 4 L1 cycles at matched clocks
+  EXPECT_EQ(hit.worst_level, ServedBy::kL1);
+}
+
+TEST(Hierarchy, SlowerL1ClockStretchesLatency) {
+  config::MemParams p = base_params();
+  p.l1_latency_cycles = 4;
+  p.l1_clock_ghz = 1.25;  // half the core clock
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x1000, 8, false, 0);
+  const auto hit = m.access(0x1000, 8, false, 1000);
+  EXPECT_EQ(hit.ready_cycle, 1008u);  // latency doubles in core cycles
+}
+
+TEST(Hierarchy, MissLevelsAreOrdered) {
+  config::MemParams p = base_params();
+  MemoryHierarchy m(p, 2.5);
+  const auto ram = m.access(0x2000, 8, false, 0);
+  EXPECT_EQ(ram.worst_level, ServedBy::kRam);
+  // Second access hits L1 (just filled).
+  const auto l1 = m.access(0x2000, 8, false, 5000);
+  EXPECT_EQ(l1.worst_level, ServedBy::kL1);
+  EXPECT_GT(ram.ready_cycle, l1.ready_cycle - 5000);
+}
+
+TEST(Hierarchy, RamLatencyScalesWithNs) {
+  config::MemParams fast = base_params();
+  fast.ram_latency_ns = 60;
+  config::MemParams slow = base_params();
+  slow.ram_latency_ns = 180;
+  MemoryHierarchy mf(fast, 2.5);
+  MemoryHierarchy ms(slow, 2.5);
+  const auto f = mf.access(0x9000, 8, false, 0);
+  const auto s = ms.access(0x9000, 8, false, 0);
+  EXPECT_NEAR(static_cast<double>(s.ready_cycle - f.ready_cycle),
+              (180 - 60) * 2.5, 2.0);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  config::MemParams p = base_params();
+  p.l1_size_kib = 4;
+  p.l1_assoc = 1;
+  p.l2_size_kib = 64;
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x0000, 8, false, 0);
+  // Evict 0x0000 from the direct-mapped 4 KiB L1 (alias at +4 KiB).
+  m.access(0x1000, 8, false, 100);
+  const auto l2 = m.access(0x0000, 8, false, 10000);
+  EXPECT_EQ(l2.worst_level, ServedBy::kL2);
+  EXPECT_EQ(m.stats().l2_hits, 1u);
+}
+
+TEST(Hierarchy, MultiLineAccessTouchesEveryLine) {
+  config::MemParams p = base_params();
+  MemoryHierarchy m(p, 2.5);
+  // 256-byte vector access spanning 4 lines of 64 B.
+  m.access(0x4000, 256, false, 0);
+  EXPECT_EQ(m.stats().line_requests, 4u);
+  EXPECT_EQ(m.stats().ram_requests, 4u);
+  // All four lines now resident.
+  const auto hit = m.access(0x4000 + 192, 8, false, 5000);
+  EXPECT_EQ(hit.worst_level, ServedBy::kL1);
+}
+
+TEST(Hierarchy, UnalignedAccessSplitsAcrossLines) {
+  MemoryHierarchy m(base_params(), 2.5);
+  m.access(0x4000 + 60, 8, false, 0);  // straddles a 64 B boundary
+  EXPECT_EQ(m.stats().line_requests, 2u);
+}
+
+TEST(Hierarchy, InfiniteBanksOverlapLineRequests) {
+  // With infinite banks (campaign default), a 4-line vector access completes
+  // much sooner than 4 serialised RAM latencies.
+  MemoryHierarchy m(base_params(), 2.5);
+  const auto result = m.access(0x8000, 256, false, 0);
+  const double one_ram = 95.0 * 2.5;
+  EXPECT_LT(result.ready_cycle, 2 * one_ram);
+}
+
+TEST(Hierarchy, WiderLineMeansFewerRequests) {
+  config::MemParams wide = base_params();
+  wide.cache_line_bytes = 256;
+  MemoryHierarchy m(wide, 2.5);
+  m.access(0xa000, 256, false, 0);
+  EXPECT_EQ(m.stats().line_requests, 1u);
+}
+
+TEST(Hierarchy, StoreMissFillsAndMarksDirtyForWriteback) {
+  config::MemParams p = base_params();
+  p.l1_size_kib = 4;
+  p.l1_assoc = 1;
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x0000, 8, true, 0);        // store miss -> dirty L1 line
+  m.access(0x1000, 8, false, 100);     // evicts dirty line into L2
+  m.access(0x2000, 8, false, 200);     // evicts again
+  EXPECT_EQ(m.stats().stores, 1u);
+  EXPECT_EQ(m.stats().loads, 2u);
+}
+
+TEST(Hierarchy, StatsCountHitsAndMisses) {
+  MemoryHierarchy m(base_params(), 2.5);
+  m.access(0x1000, 8, false, 0);
+  m.access(0x1000, 8, false, 1000);
+  m.access(0x1008, 8, false, 2000);
+  EXPECT_EQ(m.stats().l1_misses, 1u);
+  EXPECT_EQ(m.stats().l1_hits, 2u);
+  EXPECT_EQ(m.stats().l1_hit_rate(), 2.0 / 3.0);
+}
+
+TEST(Hierarchy, PrefetchStagesUpcomingLinesInL2) {
+  config::MemParams p = base_params();
+  p.prefetch_distance = 4;
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x10000, 8, false, 0);  // RAM miss triggers next-line prefetch
+  EXPECT_EQ(m.stats().prefetch_fills, 4u);
+  // The next line is L2-staged (campaign prefetcher fills L2, not L1).
+  const auto next = m.access(0x10040, 8, false, 100000);
+  EXPECT_EQ(next.worst_level, ServedBy::kL2);
+}
+
+TEST(Hierarchy, PrefetchedLineWaitsForArrival) {
+  config::MemParams p = base_params();
+  p.prefetch_distance = 4;
+  MemoryHierarchy m(p, 2.5);
+  m.access(0x10000, 8, false, 0);
+  // Immediately demanding the prefetched next line cannot beat DRAM latency.
+  const auto next = m.access(0x10040, 8, false, 1);
+  EXPECT_GT(next.ready_cycle, 95.0 * 2.5 * 0.8);
+}
+
+TEST(Hierarchy, RamClockControlsBandwidth) {
+  config::MemParams slow = base_params();
+  slow.ram_clock_ghz = 0.8;
+  config::MemParams fast = base_params();
+  fast.ram_clock_ghz = 3.2;
+  MemoryHierarchy ms(slow, 2.5);
+  MemoryHierarchy mfast(fast, 2.5);
+  // Stream 64 lines back to back; the slow DRAM must finish later.
+  std::uint64_t slow_done = 0, fast_done = 0;
+  for (int i = 0; i < 64; ++i) {
+    slow_done = ms.access(0x20000 + i * 64u, 8, false, 0).ready_cycle;
+    fast_done = mfast.access(0x20000 + i * 64u, 8, false, 0).ready_cycle;
+  }
+  EXPECT_GT(slow_done, fast_done + 100);
+}
+
+TEST(Hierarchy, ResetClearsState) {
+  MemoryHierarchy m(base_params(), 2.5);
+  m.access(0x1000, 8, false, 0);
+  m.reset();
+  EXPECT_EQ(m.stats().loads, 0u);
+  const auto again = m.access(0x1000, 8, false, 0);
+  EXPECT_EQ(again.worst_level, ServedBy::kRam);  // cold again
+}
+
+TEST(Hierarchy, ZeroSizeAccessThrows) {
+  MemoryHierarchy m(base_params(), 2.5);
+  EXPECT_THROW(m.access(0x1000, 0, false, 0), InvariantError);
+}
+
+// --- fidelity options (hardware-proxy features) ----------------------------
+
+TEST(HierarchyFidelity, TlbWalksChargeOnNewPages) {
+  FidelityOptions f;
+  f.model_tlb = true;
+  f.tlb_entries = 4;
+  MemoryHierarchy m(base_params(), 2.5, f);
+  m.access(0x100000, 8, false, 0);
+  EXPECT_EQ(m.stats().tlb_misses, 1u);
+  m.access(0x100008, 8, false, 1000);  // same page
+  EXPECT_EQ(m.stats().tlb_misses, 1u);
+  m.access(0x200000, 8, false, 2000);  // new page
+  EXPECT_EQ(m.stats().tlb_misses, 2u);
+}
+
+TEST(HierarchyFidelity, BankConflictsOnAliasedStride) {
+  FidelityOptions f;
+  f.finite_banks = 4;
+  MemoryHierarchy m(base_params(), 2.5, f);
+  // Alternate between two lines 4 lines apart (same bank of 4), forcing a
+  // line switch in the bank on every access.
+  for (int i = 0; i < 10; ++i) {
+    m.access(0x40000, 8, false, static_cast<std::uint64_t>(i));
+    m.access(0x40000 + 4 * 64, 8, false, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GT(m.stats().bank_conflicts, 0u);
+}
+
+TEST(HierarchyFidelity, NoBankConflictsWhenDisjoint) {
+  FidelityOptions f;
+  f.finite_banks = 4;
+  MemoryHierarchy m(base_params(), 2.5, f);
+  for (int i = 0; i < 10; ++i) {
+    m.access(0x40000, 8, false, static_cast<std::uint64_t>(10 * i));
+    m.access(0x40000 + 64, 8, false, static_cast<std::uint64_t>(10 * i));
+  }
+  EXPECT_EQ(m.stats().bank_conflicts, 0u);
+}
+
+TEST(HierarchyFidelity, DramScalesSlowAccesses) {
+  FidelityOptions scaled;
+  scaled.dram_latency_scale = 2.0;
+  MemoryHierarchy base(base_params(), 2.5);
+  MemoryHierarchy slow(base_params(), 2.5, scaled);
+  const auto b = base.access(0x9000, 8, false, 0);
+  const auto s = slow.access(0x9000, 8, false, 0);
+  EXPECT_GT(s.ready_cycle, b.ready_cycle + 100);
+}
+
+TEST(HierarchyFidelity, StreamPrefetcherCoversSequentialScan) {
+  config::MemParams p = base_params();
+  p.prefetch_distance = 4;
+  FidelityOptions f;
+  f.stream_prefetcher = true;
+  f.prefetch_into_l1 = true;
+  f.prefetch_on_l2_hits = true;
+  f.prefetch_boost_l2 = 8;
+  MemoryHierarchy with(p, 2.5, f);
+  MemoryHierarchy without(p, 2.5);
+  auto scan = [](MemoryHierarchy& m) {
+    std::uint64_t t = 0;
+    for (int i = 0; i < 512; ++i) {
+      t = m.access(0x100000 + static_cast<std::uint64_t>(i) * 64, 8, false, t)
+              .ready_cycle;
+    }
+    return t;
+  };
+  EXPECT_LT(scan(with), scan(without));
+  EXPECT_GT(with.stats().prefetch_fills, 100u);
+}
+
+}  // namespace
+}  // namespace adse::mem

@@ -1,0 +1,118 @@
+#include "ml/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+namespace {
+
+/// y = 50*x0 + 5*x1, x2 irrelevant.
+Dataset weighted_dataset(int n, std::uint64_t seed) {
+  Dataset d;
+  d.feature_names = {"strong", "weak", "noise"};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row{rng.uniform_real(0, 10), rng.uniform_real(0, 10),
+                            rng.uniform_real(0, 10)};
+    const double y = 50 * row[0] + 5 * row[1];
+    d.add_row(std::move(row), y);
+  }
+  return d;
+}
+
+TEST(Importance, RanksFeaturesByContribution) {
+  const Dataset d = weighted_dataset(1500, 3);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(1);
+  const auto result = permutation_importance(tree, d, rng);
+  EXPECT_GT(result.percent[0], result.percent[1]);
+  EXPECT_GT(result.percent[1], result.percent[2]);
+  EXPECT_GT(result.percent[0], 60.0);
+  EXPECT_LT(result.percent[2], 5.0);
+}
+
+TEST(Importance, PercentagesSumToHundred) {
+  const Dataset d = weighted_dataset(800, 5);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(2);
+  const auto result = permutation_importance(tree, d, rng);
+  const double total =
+      std::accumulate(result.percent.begin(), result.percent.end(), 0.0);
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(Importance, BaselineMaeIsZeroOnTrainingData) {
+  const Dataset d = weighted_dataset(400, 7);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(3);
+  const auto result = permutation_importance(tree, d, rng);
+  EXPECT_NEAR(result.baseline_mae, 0.0, 1e-9);  // unconstrained tree memorises
+}
+
+TEST(Importance, DataUnchangedAfterComputation) {
+  const Dataset d = weighted_dataset(300, 11);
+  Dataset copy = d;
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(4);
+  (void)permutation_importance(tree, copy, rng);
+  EXPECT_EQ(copy.x, d.x);
+}
+
+TEST(Importance, DeterministicForSeed) {
+  const Dataset d = weighted_dataset(500, 13);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng a(5), b(5);
+  const auto r1 = permutation_importance(tree, d, a);
+  const auto r2 = permutation_importance(tree, d, b);
+  EXPECT_EQ(r1.percent, r2.percent);
+}
+
+TEST(Importance, RepeatsOptionValidated) {
+  const Dataset d = weighted_dataset(100, 17);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(6);
+  ImportanceOptions opts;
+  opts.repeats = 0;
+  EXPECT_THROW(permutation_importance(tree, d, rng, opts), InvariantError);
+}
+
+TEST(Importance, RankFeaturesDescending) {
+  ImportanceResult r;
+  r.percent = {10.0, 50.0, 0.0, 40.0};
+  const auto order = rank_features(r);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(Importance, ConstantModelHasNoImportance) {
+  Dataset d;
+  d.feature_names = {"a"};
+  for (int i = 0; i < 50; ++i) d.add_row({static_cast<double>(i)}, 7.0);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Rng rng(8);
+  const auto result = permutation_importance(tree, d, rng);
+  EXPECT_DOUBLE_EQ(result.percent[0], 0.0);
+}
+
+TEST(Importance, FeatureCountMismatchThrows) {
+  const Dataset d = weighted_dataset(100, 19);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  Dataset wrong;
+  wrong.feature_names = {"only"};
+  wrong.add_row({1.0}, 2.0);
+  Rng rng(9);
+  EXPECT_THROW(permutation_importance(tree, wrong, rng), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse::ml

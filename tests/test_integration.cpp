@@ -1,0 +1,149 @@
+/// \file test_integration.cpp
+/// End-to-end tests across module boundaries: the full T1→T4 workflow of the
+/// paper's artifact at miniature scale (sample configs → simulate → train a
+/// surrogate → introspect), plus cross-module physical sanity checks.
+
+#include <gtest/gtest.h>
+
+#include "analysis/surrogate_eval.hpp"
+#include "campaign/campaign.hpp"
+#include "config/baselines.hpp"
+#include "config/param_space.hpp"
+#include "ml/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace adse {
+namespace {
+
+TEST(Integration, MiniatureCampaignToSurrogate) {
+  campaign::CampaignSpec spec;
+  spec.label = "integration";
+  spec.num_configs = 60;
+  spec.seed = 1234;
+  spec.threads = 2;
+  spec.verbose = false;
+  const auto result = campaign::run_campaign(spec);
+
+  // Train the paper's model on MiniBude and verify it learns *something*
+  // transferable even at this tiny scale: better than predicting the mean.
+  const auto eval = analysis::evaluate_surrogate(
+      kernels::App::kMiniBude, result.dataset(kernels::App::kMiniBude), 99);
+  EXPECT_GT(eval.r2, -1.5);  // 60 rows: generalisation is noise; pipeline must run
+  // Training fit is exact for an unconstrained tree.
+  const auto train_pred = eval.model.predict_all(eval.train);
+  EXPECT_NEAR(ml::mae(eval.train.y, train_pred), 0.0, 1e-6);
+  // Importance percentages are a valid distribution.
+  double total = 0;
+  for (double p : eval.importance.percent) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(Integration, VectorLengthMonotoneForVectorisedCodes) {
+  // Cycles must be non-increasing in VL for STREAM/MiniBude on the baseline
+  // (bandwidth raised alongside, per the §V-A constraint).
+  for (kernels::App app : {kernels::App::kStream, kernels::App::kMiniBude}) {
+    std::uint64_t prev = ~0ULL;
+    for (int vl : {128, 256, 512, 1024, 2048}) {
+      config::CpuConfig c = config::thunderx2_baseline();
+      c.core.vector_length_bits = vl;
+      while (c.core.load_bandwidth_bytes < vl / 8) c.core.load_bandwidth_bytes *= 2;
+      while (c.core.store_bandwidth_bytes < vl / 8) c.core.store_bandwidth_bytes *= 2;
+      const auto cycles = sim::simulate_app(c, app).cycles();
+      EXPECT_LE(cycles, prev + prev / 50) << kernels::app_name(app) << " VL " << vl;
+      prev = cycles;
+    }
+  }
+}
+
+TEST(Integration, RobKneeExists) {
+  // The paper's Fig. 7: growing the ROB helps a lot early, then plateaus.
+  auto cycles_at = [](int rob) {
+    config::CpuConfig c = config::thunderx2_baseline();
+    c.core.rob_size = rob;
+    return sim::simulate_app(c, kernels::App::kStream).cycles();
+  };
+  const auto at8 = cycles_at(8);
+  const auto at152 = cycles_at(152);
+  const auto at512 = cycles_at(512);
+  EXPECT_GT(at8, at152 * 2);             // starvation costs a large factor
+  EXPECT_LT(at512, at152);               // still some gain...
+  EXPECT_GT(at512 * 5, at152 * 4);       // ...but under 25% past the knee
+}
+
+TEST(Integration, FpRegisterKneeExists) {
+  auto cycles_at = [](int regs) {
+    config::CpuConfig c = config::thunderx2_baseline();
+    c.core.fp_phys_regs = regs;
+    return sim::simulate_app(c, kernels::App::kMiniBude).cycles();
+  };
+  const auto starved = cycles_at(38);
+  const auto knee = cycles_at(144);
+  const auto huge = cycles_at(512);
+  EXPECT_GT(starved, knee * 2);
+  EXPECT_GT(huge * 5, knee * 4);
+}
+
+TEST(Integration, L2SizeCliffForStream) {
+  auto cycles_at = [](int l2_kib) {
+    config::CpuConfig c = config::thunderx2_baseline();
+    c.mem.l2_size_kib = l2_kib;
+    return sim::simulate_app(c, kernels::App::kStream).cycles();
+  };
+  // Footprint is 192 KiB: 64/128 KiB L2 spills to RAM, 512 KiB does not.
+  EXPECT_GT(cycles_at(64), cycles_at(512) * 5 / 4);
+  // TeaLeaf's ~75 KiB footprint sees far less of a cliff.
+  auto tealeaf_at = [](int l2_kib) {
+    config::CpuConfig c = config::thunderx2_baseline();
+    c.mem.l2_size_kib = l2_kib;
+    return sim::simulate_app(c, kernels::App::kTeaLeaf).cycles();
+  };
+  EXPECT_LT(static_cast<double>(tealeaf_at(128)),
+            1.15 * static_cast<double>(tealeaf_at(512)));
+}
+
+TEST(Integration, MemorySpeedMattersForMemoryBoundCodes) {
+  config::CpuConfig fast = config::thunderx2_baseline();
+  fast.mem.ram_latency_ns = 60;
+  fast.mem.ram_clock_ghz = 3.2;
+  config::CpuConfig slow = config::thunderx2_baseline();
+  slow.mem.ram_latency_ns = 200;
+  slow.mem.ram_clock_ghz = 0.8;
+  const auto fast_cycles = sim::simulate_app(fast, kernels::App::kStream).cycles();
+  const auto slow_cycles = sim::simulate_app(slow, kernels::App::kStream).cycles();
+  EXPECT_GT(slow_cycles, fast_cycles * 3 / 2);
+  // Compute-bound MiniBude barely notices.
+  const auto bude_fast = sim::simulate_app(fast, kernels::App::kMiniBude).cycles();
+  const auto bude_slow = sim::simulate_app(slow, kernels::App::kMiniBude).cycles();
+  EXPECT_LT(static_cast<double>(bude_slow), 1.25 * static_cast<double>(bude_fast));
+}
+
+TEST(Integration, L1ClockMattersForTeaLeaf) {
+  config::CpuConfig fast = config::thunderx2_baseline();
+  fast.mem.l1_clock_ghz = 4.0;
+  config::CpuConfig slow = config::thunderx2_baseline();
+  slow.mem.l1_clock_ghz = 1.0;
+  const auto fast_cycles = sim::simulate_app(fast, kernels::App::kTeaLeaf).cycles();
+  const auto slow_cycles = sim::simulate_app(slow, kernels::App::kTeaLeaf).cycles();
+  EXPECT_GT(slow_cycles * 5, fast_cycles * 6);  // >= 20% slower
+}
+
+TEST(Integration, SampledConfigsSimulateWithoutError) {
+  // Property sweep: 40 random designs x 4 apps all complete and validate.
+  const config::ParameterSpace space;
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 40; ++i) {
+    const config::CpuConfig c = space.sample(rng);
+    for (kernels::App app : kernels::all_apps()) {
+      EXPECT_NO_THROW({
+        const auto result = sim::simulate_app(c, app);
+        EXPECT_GT(result.cycles(), 0u);
+      }) << "config " << i << " app " << kernels::app_name(app);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adse

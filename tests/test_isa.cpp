@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "isa/microop.hpp"
+#include "isa/ports.hpp"
+#include "isa/program.hpp"
+#include "kernels/kernel_builder.hpp"
+
+namespace adse::isa {
+namespace {
+
+using kernels::fp;
+using kernels::gp;
+using kernels::pred;
+
+TEST(MicroOp, VectorOpOnZRegistersIsSve) {
+  MicroOp op;
+  op.group = InstrGroup::kVec;
+  op.dest = fp(0);
+  op.srcs = {fp(1), fp(2), kNoReg};
+  EXPECT_TRUE(op.is_sve());
+}
+
+TEST(MicroOp, ScalarFpIsNotSve) {
+  MicroOp op;
+  op.group = InstrGroup::kFp;
+  op.dest = fp(0);
+  op.srcs = {fp(1), fp(2), kNoReg};
+  EXPECT_FALSE(op.is_sve());
+}
+
+TEST(MicroOp, PredicateOpsAreSve) {
+  MicroOp op;
+  op.group = InstrGroup::kPred;
+  op.dest = pred(0);
+  EXPECT_TRUE(op.is_sve());
+}
+
+TEST(MicroOp, WideLoadIntoZIsSve) {
+  MicroOp op;
+  op.group = InstrGroup::kLoad;
+  op.dest = fp(0);
+  op.mem_size_bytes = 32;  // 256-bit vector load
+  EXPECT_TRUE(op.is_sve());
+}
+
+TEST(MicroOp, ScalarLoadIntoZIsNotSve) {
+  MicroOp op;
+  op.group = InstrGroup::kLoad;
+  op.dest = fp(0);
+  op.mem_size_bytes = 8;  // one double
+  EXPECT_FALSE(op.is_sve());
+}
+
+TEST(MicroOp, IntegerOpIsNotSve) {
+  MicroOp op;
+  op.group = InstrGroup::kInt;
+  op.dest = gp(1);
+  op.srcs = {gp(2), kNoReg, kNoReg};
+  EXPECT_FALSE(op.is_sve());
+}
+
+TEST(MicroOp, MemoryClassification) {
+  MicroOp load;
+  load.group = InstrGroup::kLoad;
+  MicroOp store;
+  store.group = InstrGroup::kStore;
+  MicroOp alu;
+  alu.group = InstrGroup::kInt;
+  EXPECT_TRUE(load.is_memory());
+  EXPECT_TRUE(store.is_memory());
+  EXPECT_FALSE(alu.is_memory());
+}
+
+TEST(Latency, AllGroupsPositive) {
+  for (int g = 0; g < kNumInstrGroups; ++g) {
+    EXPECT_GE(execution_latency(static_cast<InstrGroup>(g)), 1);
+  }
+}
+
+TEST(Latency, RelativeOrdering) {
+  EXPECT_LT(execution_latency(InstrGroup::kInt),
+            execution_latency(InstrGroup::kFp));
+  EXPECT_LT(execution_latency(InstrGroup::kFp),
+            execution_latency(InstrGroup::kFpDiv));
+  EXPECT_EQ(execution_latency(InstrGroup::kLoad), 1);  // AGU only
+}
+
+TEST(Ports, EveryGroupHasAtLeastOnePort) {
+  for (int g = 0; g < kNumInstrGroups; ++g) {
+    EXPECT_FALSE(ports_for(static_cast<InstrGroup>(g)).empty());
+  }
+}
+
+TEST(Ports, LoadStoreExclusivePorts) {
+  for (std::uint8_t p : ports_for(InstrGroup::kLoad)) {
+    EXPECT_TRUE(p == kPortLs0 || p == kPortLs1 || p == kPortLs2);
+    EXPECT_FALSE(port_supports(p, InstrGroup::kInt));
+    EXPECT_FALSE(port_supports(p, InstrGroup::kVec));
+  }
+  EXPECT_EQ(ports_for(InstrGroup::kLoad).size(), 3u);
+}
+
+TEST(Ports, VectorOnTwoPorts) {
+  EXPECT_EQ(ports_for(InstrGroup::kVec).size(), 2u);
+}
+
+TEST(Ports, PredicateHasDedicatedPlusVectorFallback) {
+  const auto ports = ports_for(InstrGroup::kPred);
+  EXPECT_EQ(ports.front(), kPortPred0);
+  EXPECT_EQ(ports.size(), 3u);
+}
+
+TEST(Ports, MixedPortsServeScalarAndBranch) {
+  for (auto group : {InstrGroup::kInt, InstrGroup::kFp, InstrGroup::kBranch}) {
+    EXPECT_EQ(ports_for(group).size(), 3u);
+    EXPECT_TRUE(port_supports(kPortMix0, group));
+  }
+}
+
+TEST(Ports, PortSupportsNegativeCases) {
+  EXPECT_FALSE(port_supports(kPortVec0, InstrGroup::kLoad));
+  EXPECT_FALSE(port_supports(kPortMix0, InstrGroup::kVec));
+}
+
+TEST(GroupName, AllDistinct) {
+  std::set<std::string> names;
+  for (int g = 0; g < kNumInstrGroups; ++g) {
+    names.insert(group_name(static_cast<InstrGroup>(g)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumInstrGroups));
+}
+
+TEST(TraceStats, CountsGroupsAndBytes) {
+  kernels::KernelBuilder b("t");
+  b.load(fp(0), 0x1000, 32, gp(1));                // SVE load
+  b.op(InstrGroup::kVec, fp(1), fp(0));            // SVE op
+  b.store(0x2000, 32, fp(1), gp(1));               // SVE store
+  b.op(InstrGroup::kInt, gp(1), gp(1));
+  b.branch();
+  const Program program = b.take();
+  const TraceStats stats = compute_stats(program);
+  EXPECT_EQ(stats.total, 5u);
+  EXPECT_EQ(stats.memory_ops, 2u);
+  EXPECT_EQ(stats.loaded_bytes, 32u);
+  EXPECT_EQ(stats.stored_bytes, 32u);
+  EXPECT_EQ(stats.sve_ops, 3u);
+  EXPECT_NEAR(stats.sve_fraction(), 0.6, 1e-12);
+  EXPECT_EQ(stats.by_group[static_cast<int>(InstrGroup::kBranch)], 1u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  Program p;
+  const TraceStats stats = compute_stats(p);
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_EQ(stats.sve_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace adse::isa

@@ -1,0 +1,220 @@
+#include "kernels/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+
+namespace adse::kernels {
+namespace {
+
+TEST(AppNames, AllFourPresentAndOrdered) {
+  EXPECT_EQ(all_apps().size(), static_cast<std::size_t>(kNumApps));
+  EXPECT_EQ(app_name(App::kStream), "STREAM");
+  EXPECT_EQ(app_name(App::kMiniBude), "MiniBude");
+  EXPECT_EQ(app_name(App::kTeaLeaf), "TeaLeaf");
+  EXPECT_EQ(app_name(App::kMiniSweep), "MiniSweep");
+  EXPECT_EQ(app_slug(App::kMiniSweep), "minisweep");
+}
+
+TEST(KernelBuilder, LoopMarkersStampBodyAndFirstIteration) {
+  KernelBuilder b("t");
+  b.begin_loop();
+  for (int iter = 0; iter < 3; ++iter) {
+    b.begin_iteration();
+    b.op(isa::InstrGroup::kInt, gp(1));
+    b.op(isa::InstrGroup::kInt, gp(2));
+    b.branch();
+    b.end_iteration();
+  }
+  b.end_loop();
+  const isa::Program p = b.take();
+  ASSERT_EQ(p.ops.size(), 9u);
+  for (const auto& op : p.ops) EXPECT_EQ(op.loop_body_size, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(p.ops[i].flags & isa::kFlagFirstLoopIteration);
+  }
+  for (std::size_t i = 3; i < 9; ++i) {
+    EXPECT_FALSE(p.ops[i].flags & isa::kFlagFirstLoopIteration);
+  }
+  // The exit branch of the final iteration is flagged.
+  EXPECT_TRUE(p.ops[8].flags & isa::kFlagLoopExit);
+  EXPECT_FALSE(p.ops[5].flags & isa::kFlagLoopExit);
+}
+
+TEST(KernelBuilder, StraightLineCodeUnstamped) {
+  KernelBuilder b("t");
+  b.op(isa::InstrGroup::kInt, gp(1));
+  const isa::Program p = b.take();
+  EXPECT_EQ(p.ops[0].loop_body_size, 0);
+}
+
+TEST(KernelBuilder, TakeInsideLoopThrows) {
+  KernelBuilder b("t");
+  b.begin_loop();
+  EXPECT_THROW(b.take(), InvariantError);
+}
+
+TEST(KernelBuilder, EmptyIterationThrows) {
+  KernelBuilder b("t");
+  b.begin_loop();
+  b.begin_iteration();
+  EXPECT_THROW(b.end_iteration(), InvariantError);
+}
+
+TEST(KernelBuilder, WhileloEmitsPredicateAndCondWrites) {
+  KernelBuilder b("t");
+  b.whilelo(pred(0), gp(1), gp(2));
+  const isa::Program p = b.take();
+  ASSERT_EQ(p.ops.size(), 2u);
+  EXPECT_EQ(p.ops[0].dest.cls, isa::RegClass::kPred);
+  EXPECT_EQ(p.ops[1].dest.cls, isa::RegClass::kCond);
+}
+
+class EveryAppAtEveryVl
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EveryAppAtEveryVl, BuildsAndHasSaneShape) {
+  const App app = static_cast<App>(std::get<0>(GetParam()));
+  const int vl = std::get<1>(GetParam());
+  const isa::Program p = build_app(app, vl);
+  EXPECT_FALSE(p.ops.empty());
+  EXPECT_GT(p.footprint_bytes, 0u);
+  const isa::TraceStats stats = isa::compute_stats(p);
+  EXPECT_EQ(stats.total, p.ops.size());
+  EXPECT_GT(stats.memory_ops, 0u);
+  // Each memory op's size never exceeds one full vector.
+  for (const auto& op : p.ops) {
+    if (op.is_memory()) {
+      EXPECT_LE(op.mem_size_bytes, static_cast<std::uint32_t>(vl / 8));
+      EXPECT_GT(op.mem_size_bytes, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EveryAppAtEveryVl,
+    ::testing::Combine(::testing::Range(0, kNumApps),
+                       ::testing::Values(128, 256, 512, 1024, 2048)),
+    [](const auto& info) {
+      return app_slug(static_cast<App>(std::get<0>(info.param))) + "_vl" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Stream, TraceShrinksWithVectorLength) {
+  const auto vl128 = build_stream(StreamInput{}, 128);
+  const auto vl2048 = build_stream(StreamInput{}, 2048);
+  EXPECT_GT(vl128.size(), vl2048.size() * 10);
+}
+
+TEST(Stream, HighSveFraction) {
+  const auto stats = isa::compute_stats(build_stream(StreamInput{}, 128));
+  EXPECT_GT(stats.sve_fraction(), 0.5);
+}
+
+TEST(Stream, FootprintMatchesInput) {
+  StreamInput input;
+  input.array_elements = 1000;
+  const auto p = build_stream(input, 128);
+  EXPECT_EQ(p.footprint_bytes, 3u * 1000 * 8);
+}
+
+TEST(Stream, RepetitionsScaleTrace) {
+  StreamInput one;
+  StreamInput two;
+  two.repetitions = 2;
+  EXPECT_NEAR(static_cast<double>(build_stream(two, 128).size()),
+              2.0 * static_cast<double>(build_stream(one, 128).size()),
+              10.0);
+}
+
+TEST(Stream, InvalidInputThrows) {
+  StreamInput bad;
+  bad.array_elements = 0;
+  EXPECT_THROW(build_stream(bad, 128), InvariantError);
+}
+
+TEST(MiniBude, HighSveFractionAndVlScaling) {
+  const auto stats128 = isa::compute_stats(build_minibude(BudeInput{}, 128));
+  EXPECT_GT(stats128.sve_fraction(), 0.5);
+  EXPECT_GT(build_minibude(BudeInput{}, 128).size(),
+            build_minibude(BudeInput{}, 2048).size() * 8);
+}
+
+TEST(MiniBude, ComputeBoundMix) {
+  const auto stats = isa::compute_stats(build_minibude(BudeInput{}, 128));
+  const auto vec = stats.by_group[static_cast<int>(isa::InstrGroup::kVec)];
+  EXPECT_GT(vec, stats.memory_ops);  // more compute than memory
+}
+
+TEST(TeaLeaf, PoorlyVectorised) {
+  const auto stats = isa::compute_stats(build_tealeaf(TeaLeafInput{}, 128));
+  EXPECT_LT(stats.sve_fraction(), 0.15);
+  EXPECT_GT(stats.sve_fraction(), 0.0);
+}
+
+TEST(TeaLeaf, TraceAlmostVlInvariant) {
+  const auto vl128 = build_tealeaf(TeaLeafInput{}, 128);
+  const auto vl2048 = build_tealeaf(TeaLeafInput{}, 2048);
+  // Only the one vectorised axpy shrinks; bulk is scalar.
+  EXPECT_LT(static_cast<double>(vl128.size() - vl2048.size()),
+            0.15 * static_cast<double>(vl128.size()));
+}
+
+TEST(TeaLeaf, MemoryHeavyMix) {
+  const auto stats = isa::compute_stats(build_tealeaf(TeaLeafInput{}, 128));
+  EXPECT_GT(static_cast<double>(stats.memory_ops) /
+                static_cast<double>(stats.total),
+            0.3);
+}
+
+TEST(MiniSweep, PoorlyVectorised) {
+  const auto stats = isa::compute_stats(build_minisweep(SweepInput{}, 128));
+  EXPECT_LT(stats.sve_fraction(), 0.1);
+}
+
+TEST(MiniSweep, WavefrontStoresFeedLoads) {
+  const auto p = build_minisweep(SweepInput{}, 128);
+  // Every interior cell's loads hit addresses previously stored: count
+  // load addresses that appeared as earlier store addresses.
+  std::set<std::uint64_t> stored;
+  std::size_t dependent_loads = 0;
+  for (const auto& op : p.ops) {
+    if (op.group == isa::InstrGroup::kStore) stored.insert(op.mem_addr);
+    if (op.group == isa::InstrGroup::kLoad && stored.count(op.mem_addr)) {
+      dependent_loads++;
+    }
+  }
+  EXPECT_GT(dependent_loads, 1000u);
+}
+
+TEST(MiniSweep, OctantsScaleTrace) {
+  SweepInput one;
+  one.octants = 1;
+  SweepInput two;
+  two.octants = 2;
+  EXPECT_NEAR(static_cast<double>(build_minisweep(two, 128).size()),
+              2.0 * static_cast<double>(build_minisweep(one, 128).size()),
+              20.0);
+}
+
+TEST(Workloads, DefaultTraceSizesAreCampaignScale) {
+  for (App app : all_apps()) {
+    const auto size = build_app(app, 128).size();
+    EXPECT_GT(size, 10'000u) << app_name(app);
+    EXPECT_LT(size, 200'000u) << app_name(app);
+  }
+}
+
+TEST(Workloads, TracesAreDeterministic) {
+  const auto a = build_app(App::kMiniSweep, 256);
+  const auto b = build_app(App::kMiniSweep, 256);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ops[i].mem_addr, b.ops[i].mem_addr);
+    EXPECT_EQ(static_cast<int>(a.ops[i].group), static_cast<int>(b.ops[i].group));
+  }
+}
+
+}  // namespace
+}  // namespace adse::kernels

@@ -1,0 +1,72 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace adse::ml {
+namespace {
+
+TEST(Metrics, Mae) {
+  EXPECT_DOUBLE_EQ(mae({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(mae({0, 0}, {1, -3}), 2.0);
+}
+
+TEST(Metrics, Rmse) {
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rmse({5}, {5}), 0.0);
+}
+
+TEST(Metrics, RmseDominatesForOutliers) {
+  const std::vector<double> truth{0, 0, 0, 0};
+  const std::vector<double> pred{0, 0, 0, 8};
+  EXPECT_GT(rmse(truth, pred), mae(truth, pred));
+}
+
+TEST(Metrics, Mape) {
+  EXPECT_DOUBLE_EQ(mape({100, 200}, {110, 180}), (0.1 + 0.1) / 2);
+  EXPECT_THROW(mape({0.0}, {1.0}), InvariantError);
+}
+
+TEST(Metrics, MeanAccuracyPercent) {
+  // The paper's 93.38% metric: 100 - mean relative error %.
+  EXPECT_NEAR(mean_accuracy_percent({100, 100}, {90, 110}), 90.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mean_accuracy_percent({50}, {50}), 100.0);
+}
+
+TEST(Metrics, R2PerfectAndBaseline) {
+  EXPECT_DOUBLE_EQ(r2({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Predicting the mean scores 0.
+  EXPECT_NEAR(r2({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+  // Worse than the mean is negative.
+  EXPECT_LT(r2({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(Metrics, R2ConstantTruth) {
+  EXPECT_DOUBLE_EQ(r2({4, 4}, {4, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(r2({4, 4}, {5, 5}), 0.0);
+}
+
+TEST(Metrics, WithinToleranceCurveIsMonotone) {
+  const std::vector<double> truth{100, 100, 100, 100};
+  const std::vector<double> pred{100.5, 103, 115, 160};
+  const auto curve =
+      within_tolerance_curve(truth, pred, {0.01, 0.05, 0.25, 0.75});
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);
+  EXPECT_DOUBLE_EQ(curve[1], 0.5);
+  EXPECT_DOUBLE_EQ(curve[2], 0.75);
+  EXPECT_DOUBLE_EQ(curve[3], 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(mae({1.0}, {1.0, 2.0}), InvariantError);
+  EXPECT_THROW(r2({}, {}), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse::ml

@@ -1,0 +1,166 @@
+#include "config/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/require.hpp"
+
+namespace adse::config {
+namespace {
+
+TEST(ParamSpec, Pow2Values) {
+  const ParameterSpace space;
+  const auto values = space.spec(ParamId::kVectorLength).values();
+  EXPECT_EQ(values, (std::vector<double>{128, 256, 512, 1024, 2048}));
+}
+
+TEST(ParamSpec, LinearValuesWithExtraFloor) {
+  const ParameterSpace space;
+  const auto values = space.spec(ParamId::kGpRegisters).values();
+  // Table II: "8 starting from 40", plus the minimum-viable 38.
+  EXPECT_DOUBLE_EQ(values.front(), 38.0);
+  EXPECT_DOUBLE_EQ(values[1], 40.0);
+  EXPECT_DOUBLE_EQ(values[2], 48.0);
+  EXPECT_DOUBLE_EQ(values.back(), 512.0);
+}
+
+TEST(ParamSpec, RobValuesStep4) {
+  const ParameterSpace space;
+  const auto values = space.spec(ParamId::kRobSize).values();
+  EXPECT_DOUBLE_EQ(values.front(), 8.0);
+  EXPECT_DOUBLE_EQ(values[1], 12.0);
+  EXPECT_DOUBLE_EQ(values.back(), 512.0);
+  EXPECT_EQ(values.size(), 127u);
+}
+
+TEST(ParamSpec, RealValuesThrow) {
+  const ParameterSpace space;
+  EXPECT_THROW(space.spec(ParamId::kL1Clock).values(), InvariantError);
+}
+
+TEST(ParamSpec, ContainsMembership) {
+  const ParameterSpace space;
+  const auto& vl = space.spec(ParamId::kVectorLength);
+  EXPECT_TRUE(vl.contains(512));
+  EXPECT_FALSE(vl.contains(384));
+  const auto& clock = space.spec(ParamId::kL1Clock);
+  EXPECT_TRUE(clock.contains(2.2));
+  EXPECT_FALSE(clock.contains(0.1));
+}
+
+TEST(ParamSpec, SampleHonoursRaisedMinimum) {
+  const ParameterSpace space;
+  Rng rng(3);
+  const auto& bw = space.spec(ParamId::kLoadBandwidth);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(bw.sample(rng, 256.0), 256.0);
+  }
+}
+
+TEST(ParamSpec, SampleRaisedAboveMaxThrows) {
+  const ParameterSpace space;
+  Rng rng(3);
+  EXPECT_THROW(space.spec(ParamId::kLoadBandwidth).sample(rng, 2048.0),
+               InvariantError);
+}
+
+TEST(ParameterSpace, HasThirtySpecs) {
+  const ParameterSpace space;
+  EXPECT_EQ(space.specs().size(), kNumParams);
+}
+
+// Property: every sampled configuration is valid (500 draws).
+TEST(ParameterSpace, SamplesAreAlwaysValid) {
+  const ParameterSpace space;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const CpuConfig c = space.sample(rng);
+    EXPECT_NO_THROW(validate(c)) << "draw " << i;
+  }
+}
+
+// Property: the §V-A dependent bounds hold on every draw.
+TEST(ParameterSpace, DependentBoundsHold) {
+  const ParameterSpace space;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const CpuConfig c = space.sample(rng);
+    EXPECT_GE(c.core.load_bandwidth_bytes, c.core.vector_length_bits / 8);
+    EXPECT_GE(c.core.store_bandwidth_bytes, c.core.vector_length_bits / 8);
+    EXPECT_GT(c.mem.l2_size_kib, c.mem.l1_size_kib);
+    EXPECT_GT(c.mem.l2_latency_cycles, c.mem.l1_latency_cycles);
+  }
+}
+
+TEST(ParameterSpace, FixedVectorLengthConstraint) {
+  const ParameterSpace space;
+  Rng rng(11);
+  SampleConstraints constraints;
+  constraints.fixed_vector_length = 2048;
+  for (int i = 0; i < 100; ++i) {
+    const CpuConfig c = space.sample(rng, constraints);
+    EXPECT_EQ(c.core.vector_length_bits, 2048);
+    EXPECT_GE(c.core.load_bandwidth_bytes, 256);
+  }
+}
+
+TEST(ParameterSpace, FixedVectorLengthMustBeInRange) {
+  const ParameterSpace space;
+  Rng rng(11);
+  SampleConstraints constraints;
+  constraints.fixed_vector_length = 384;
+  EXPECT_THROW(space.sample(rng, constraints), InvariantError);
+}
+
+TEST(ParameterSpace, SamplingIsDeterministicPerSeed) {
+  const ParameterSpace space;
+  Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(feature_vector(space.sample(a)), feature_vector(space.sample(b)));
+  }
+}
+
+TEST(ParameterSpace, SamplingCoversVectorLengths) {
+  const ParameterSpace space;
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(space.sample(rng).core.vector_length_bits);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of {128..2048}
+}
+
+TEST(ParameterSpace, SamplingIsRoughlyUniformOverVl) {
+  const ParameterSpace space;
+  Rng rng(17);
+  std::map<int, int> counts;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) counts[space.sample(rng).core.vector_length_bits]++;
+  for (const auto& [vl, count] : counts) {
+    EXPECT_NEAR(count, n / 5, n / 5 / 2) << "VL " << vl;
+  }
+}
+
+// Parameterised property: each discrete spec's samples are members of its
+// own value list.
+class SpecSampleMembership : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecSampleMembership, SamplesAreMembers) {
+  const ParameterSpace space;
+  const auto& spec = space.spec(static_cast<ParamId>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(spec.contains(spec.sample(rng))) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, SpecSampleMembership,
+                         ::testing::Range(0, static_cast<int>(kNumParams)),
+                         [](const auto& info) {
+                           return param_name(static_cast<ParamId>(info.param));
+                         });
+
+}  // namespace
+}  // namespace adse::config

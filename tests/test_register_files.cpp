@@ -1,0 +1,105 @@
+#include "core/register_files.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "config/baselines.hpp"
+
+namespace adse::core {
+namespace {
+
+config::CoreParams params_with_gp(int gp) {
+  config::CoreParams p = config::thunderx2_baseline().core;
+  p.gp_phys_regs = gp;
+  return p;
+}
+
+TEST(RegisterFiles, InitialMappingsAreIdentityAndReady) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  for (int a = 0; a < config::kArchGpRegs; ++a) {
+    EXPECT_EQ(rf.mapping(isa::RegClass::kGp, a), a);
+    EXPECT_TRUE(rf.ready(isa::RegClass::kGp, a));
+  }
+  EXPECT_EQ(rf.mapping(isa::RegClass::kCond, 0), 0);
+}
+
+TEST(RegisterFiles, FreeCountIsPhysMinusArch) {
+  RegisterFiles rf(params_with_gp(40));
+  EXPECT_EQ(rf.free_count(isa::RegClass::kGp), 40 - config::kArchGpRegs);
+}
+
+TEST(RegisterFiles, AllocateUpdatesMappingAndClearsReady) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  const auto alloc = rf.allocate(isa::RegClass::kGp, 5);
+  EXPECT_EQ(alloc.prev, 5);  // initial identity mapping
+  EXPECT_NE(alloc.phys, 5);
+  EXPECT_EQ(rf.mapping(isa::RegClass::kGp, 5), alloc.phys);
+  EXPECT_FALSE(rf.ready(isa::RegClass::kGp, alloc.phys));
+  rf.set_ready(isa::RegClass::kGp, alloc.phys);
+  EXPECT_TRUE(rf.ready(isa::RegClass::kGp, alloc.phys));
+}
+
+TEST(RegisterFiles, ExhaustionAndRelease) {
+  RegisterFiles rf(params_with_gp(38));  // 6 rename registers
+  std::vector<RegisterFiles::Alloc> allocs;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rf.can_allocate(isa::RegClass::kGp));
+    allocs.push_back(rf.allocate(isa::RegClass::kGp, i % 32));
+  }
+  EXPECT_FALSE(rf.can_allocate(isa::RegClass::kGp));
+  EXPECT_THROW(rf.allocate(isa::RegClass::kGp, 0), InvariantError);
+  // Committing an op frees the *previous* mapping.
+  rf.release(isa::RegClass::kGp, allocs[0].prev);
+  EXPECT_TRUE(rf.can_allocate(isa::RegClass::kGp));
+  EXPECT_EQ(rf.free_count(isa::RegClass::kGp), 1);
+}
+
+TEST(RegisterFiles, ClassesAreIndependent) {
+  config::CoreParams p = config::thunderx2_baseline().core;
+  p.pred_phys_regs = 24;  // 7 free predicate rename regs
+  RegisterFiles rf(p);
+  for (int i = 0; i < 7; ++i) rf.allocate(isa::RegClass::kPred, 0);
+  EXPECT_FALSE(rf.can_allocate(isa::RegClass::kPred));
+  EXPECT_TRUE(rf.can_allocate(isa::RegClass::kGp));
+  EXPECT_TRUE(rf.can_allocate(isa::RegClass::kFp));
+  EXPECT_TRUE(rf.can_allocate(isa::RegClass::kCond));
+}
+
+TEST(RegisterFiles, SequentialWritesChainPrevious) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  const auto first = rf.allocate(isa::RegClass::kFp, 3);
+  const auto second = rf.allocate(isa::RegClass::kFp, 3);
+  EXPECT_EQ(second.prev, first.phys);
+  EXPECT_EQ(rf.mapping(isa::RegClass::kFp, 3), second.phys);
+}
+
+TEST(RegisterFiles, CondClassWorks) {
+  config::CoreParams p = config::thunderx2_baseline().core;
+  p.cond_phys_regs = 8;  // 7 rename regs
+  RegisterFiles rf(p);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(rf.can_allocate(isa::RegClass::kCond));
+    rf.allocate(isa::RegClass::kCond, 0);
+  }
+  EXPECT_FALSE(rf.can_allocate(isa::RegClass::kCond));
+}
+
+TEST(RegisterFiles, OutOfRangeArchThrows) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  EXPECT_THROW(rf.mapping(isa::RegClass::kGp, config::kArchGpRegs),
+               InvariantError);
+  EXPECT_THROW(rf.allocate(isa::RegClass::kCond, 1), InvariantError);
+}
+
+TEST(RegisterFiles, ReleaseRecyclesRegisters) {
+  RegisterFiles rf(params_with_gp(40));  // 8 rename regs
+  // Sustained alloc/release cycles must never exhaust.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rf.can_allocate(isa::RegClass::kGp));
+    const auto alloc = rf.allocate(isa::RegClass::kGp, i % 32);
+    rf.release(isa::RegClass::kGp, alloc.prev);
+  }
+}
+
+}  // namespace
+}  // namespace adse::core

@@ -1,0 +1,152 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace adse {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformIntStaysInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform_int(3, 2), InvariantError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng r(13);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[static_cast<std::size_t>(r.uniform_int(0, 7))]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(19);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += r.uniform01();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng r(23);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = r.uniform_real(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng r(29);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(r.index(13), 13u);
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng r(29);
+  EXPECT_THROW(r.index(0), InvariantError);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng r(41);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  r.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  // Child stream should not replay the parent's continuation.
+  Rng parent2(43);
+  (void)parent2.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child.next() == parent.next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adse

@@ -1,0 +1,87 @@
+#include "config/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/require.hpp"
+#include "config/baselines.hpp"
+#include "config/param_space.hpp"
+
+namespace adse::config {
+namespace {
+
+TEST(Serialize, YamlRoundTrip) {
+  const CpuConfig original = a64fx_like();
+  const CpuConfig back = config_from_yaml(to_yaml(original));
+  EXPECT_EQ(feature_vector(back), feature_vector(original));
+  EXPECT_EQ(back.name, original.name);
+}
+
+TEST(Serialize, YamlRoundTripsSampledConfigs) {
+  const ParameterSpace space;
+  Rng rng(21);
+  for (int i = 0; i < 25; ++i) {
+    const CpuConfig c = space.sample(rng);
+    EXPECT_EQ(feature_vector(config_from_yaml(to_yaml(c))), feature_vector(c));
+  }
+}
+
+TEST(Serialize, YamlHasSections) {
+  const std::string yaml = to_yaml(thunderx2_baseline());
+  EXPECT_NE(yaml.find("core:"), std::string::npos);
+  EXPECT_NE(yaml.find("memory:"), std::string::npos);
+  EXPECT_NE(yaml.find("rob_size: 180"), std::string::npos);
+  EXPECT_NE(yaml.find("l2_size_kib: 256"), std::string::npos);
+}
+
+TEST(Serialize, CommentsAndBlanksIgnored) {
+  std::string yaml = to_yaml(thunderx2_baseline());
+  yaml = "# leading comment\n\n" + yaml + "\n# trailing\n";
+  EXPECT_NO_THROW(config_from_yaml(yaml));
+}
+
+TEST(Serialize, MissingKeysKeepDefaults) {
+  const CpuConfig c = config_from_yaml(
+      "name: tiny\ncore:\n  rob_size: 64\nmemory:\n  l2_size_kib: 512\n");
+  EXPECT_EQ(c.core.rob_size, 64);
+  EXPECT_EQ(c.mem.l2_size_kib, 512);
+  EXPECT_EQ(c.name, "tiny");
+  // Untouched field keeps the default.
+  EXPECT_EQ(c.core.commit_width, CpuConfig{}.core.commit_width);
+}
+
+TEST(Serialize, UnknownKeyThrows) {
+  EXPECT_THROW(config_from_yaml("core:\n  warp_drive: 9\n"), InvariantError);
+}
+
+TEST(Serialize, WrongSectionThrows) {
+  EXPECT_THROW(config_from_yaml("memory:\n  rob_size: 64\n"), InvariantError);
+  EXPECT_THROW(config_from_yaml("core:\n  l1_size_kib: 32\n"), InvariantError);
+}
+
+TEST(Serialize, InvalidResultingConfigThrows) {
+  EXPECT_THROW(config_from_yaml("core:\n  rob_size: 5\n"), InvariantError);
+}
+
+TEST(Serialize, MalformedLineThrows) {
+  EXPECT_THROW(config_from_yaml("core\n"), InvariantError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_yaml_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "cfg.yaml").string();
+  const CpuConfig original = big_future();
+  save_yaml(path, original);
+  const CpuConfig back = load_yaml(path);
+  EXPECT_EQ(feature_vector(back), feature_vector(original));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW(load_yaml("/nonexistent/adse.yaml"), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse::config

@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace adse {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_THROW(s.min(), InvariantError);
+  EXPECT_THROW(s.max(), InvariantError);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2));
+  EXPECT_NEAR(s.mean(), offset + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(OnlineStats, MergeEqualsConcatenation) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_real(-10, 10);
+    all.add(x);
+    ((i % 3 == 0) ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(BatchStats, MeanAndVariance) {
+  const std::vector<double> v{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_NEAR(variance(v), 8.0 / 3.0, 1e-12);
+  EXPECT_THROW(mean({}), InvariantError);
+}
+
+TEST(BatchStats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_THROW(percentile(v, 101), InvariantError);
+  EXPECT_THROW(percentile({}, 50), InvariantError);
+}
+
+TEST(BatchStats, PercentileIgnoresInputOrder) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), percentile({1, 2, 3}, 50));
+}
+
+TEST(BatchStats, Geomean) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, 0.0}), InvariantError);
+  EXPECT_THROW(geomean({1.0, -2.0}), InvariantError);
+}
+
+TEST(BatchStats, FractionWithin) {
+  const std::vector<double> truth{100, 100, 100, 100};
+  const std::vector<double> pred{100, 101, 110, 200};
+  EXPECT_DOUBLE_EQ(fraction_within(truth, pred, 0.005), 0.25);
+  EXPECT_DOUBLE_EQ(fraction_within(truth, pred, 0.02), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_within(truth, pred, 0.10), 0.75);
+  EXPECT_DOUBLE_EQ(fraction_within(truth, pred, 1.00), 1.0);
+}
+
+TEST(BatchStats, FractionWithinZeroTruth) {
+  EXPECT_DOUBLE_EQ(fraction_within({0.0, 0.0}, {0.0, 1.0}, 0.5), 0.5);
+}
+
+TEST(BatchStats, FractionWithinSizeMismatch) {
+  EXPECT_THROW(fraction_within({1.0}, {1.0, 2.0}, 0.1), InvariantError);
+}
+
+}  // namespace
+}  // namespace adse

@@ -1,0 +1,49 @@
+#include "sim/stats_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/baselines.hpp"
+
+namespace adse::sim {
+namespace {
+
+TEST(StatsReport, RenderContainsEverySection) {
+  const RunResult result =
+      simulate_app(config::thunderx2_baseline(), kernels::App::kStream);
+  const std::string out = render_stats(result);
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("retirement mix"), std::string::npos);
+  EXPECT_NE(out.find("stall attribution"), std::string::npos);
+  EXPECT_NE(out.find("memory hierarchy"), std::string::npos);
+  EXPECT_NE(out.find("LOAD"), std::string::npos);
+  EXPECT_NE(out.find("store->load forwards"), std::string::npos);
+  EXPECT_NE(out.find("thunderx2"), std::string::npos);
+}
+
+TEST(StatsReport, MixOmitsUnusedGroups) {
+  // STREAM has no scalar FP divides.
+  const RunResult result =
+      simulate_app(config::thunderx2_baseline(), kernels::App::kStream);
+  const std::string out = render_stats(result);
+  EXPECT_EQ(out.find("FP_DIV"), std::string::npos);
+}
+
+TEST(StatsReport, SummaryIsOneLine) {
+  const RunResult result =
+      simulate_app(config::thunderx2_baseline(), kernels::App::kMiniBude);
+  const std::string out = summarize(result);
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find("minibude"), std::string::npos);
+  EXPECT_NE(out.find("IPC"), std::string::npos);
+}
+
+TEST(StatsReport, NumbersAreGrouped) {
+  const RunResult result =
+      simulate_app(config::thunderx2_baseline(), kernels::App::kStream);
+  const std::string out = render_stats(result);
+  // Cycles are tens of thousands: must contain a comma-grouped number.
+  EXPECT_NE(out.find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adse::sim

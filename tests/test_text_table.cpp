@@ -1,0 +1,61 @@
+#include "common/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace adse {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRule) {
+  TextTable t({"name", "value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"app", "cycles"});
+  t.add_row({"STREAM", "123"});
+  t.add_row({"B", "4567890"});
+  const std::string out = t.render();
+  // Numeric column is right-aligned: "123" must be padded to width 7.
+  EXPECT_NE(out.find("    123"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidthRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvariantError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvariantError);
+}
+
+TEST(TextTable, SetAlignValidation) {
+  TextTable t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  EXPECT_THROW(t.set_align(2, Align::kLeft), InvariantError);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, EachRowEndsWithNewline) {
+  TextTable t({"h"});
+  t.add_row({"r"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.back(), '\n');
+  // header + rule + one row = 3 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace adse

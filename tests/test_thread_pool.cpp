@@ -1,0 +1,91 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace adse {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(500);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbandonOtherIterations) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first fails");
+      done++;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 99);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(20, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvariantError);
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace adse
