@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "00_build_datasets"
+  "00_build_datasets.pdb"
+  "CMakeFiles/00_build_datasets.dir/00_build_datasets.cpp.o"
+  "CMakeFiles/00_build_datasets.dir/00_build_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/00_build_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 00_build_datasets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "01_table1_validation"
+  "01_table1_validation.pdb"
+  "CMakeFiles/01_table1_validation.dir/01_table1_validation.cpp.o"
+  "CMakeFiles/01_table1_validation.dir/01_table1_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/01_table1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

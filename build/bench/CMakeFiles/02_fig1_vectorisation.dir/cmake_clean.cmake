@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "02_fig1_vectorisation"
+  "02_fig1_vectorisation.pdb"
+  "CMakeFiles/02_fig1_vectorisation.dir/02_fig1_vectorisation.cpp.o"
+  "CMakeFiles/02_fig1_vectorisation.dir/02_fig1_vectorisation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/02_fig1_vectorisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 02_fig1_vectorisation.
+# This may be replaced when dependencies are built.

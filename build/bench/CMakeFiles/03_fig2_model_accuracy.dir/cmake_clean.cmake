@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "03_fig2_model_accuracy"
+  "03_fig2_model_accuracy.pdb"
+  "CMakeFiles/03_fig2_model_accuracy.dir/03_fig2_model_accuracy.cpp.o"
+  "CMakeFiles/03_fig2_model_accuracy.dir/03_fig2_model_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/03_fig2_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

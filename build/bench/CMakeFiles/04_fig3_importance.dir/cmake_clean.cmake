@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "04_fig3_importance"
+  "04_fig3_importance.pdb"
+  "CMakeFiles/04_fig3_importance.dir/04_fig3_importance.cpp.o"
+  "CMakeFiles/04_fig3_importance.dir/04_fig3_importance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/04_fig3_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for 04_fig3_importance.
+# This may be replaced when dependencies are built.

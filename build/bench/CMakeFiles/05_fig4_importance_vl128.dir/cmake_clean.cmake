@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "05_fig4_importance_vl128"
+  "05_fig4_importance_vl128.pdb"
+  "CMakeFiles/05_fig4_importance_vl128.dir/05_fig4_importance_vl128.cpp.o"
+  "CMakeFiles/05_fig4_importance_vl128.dir/05_fig4_importance_vl128.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/05_fig4_importance_vl128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

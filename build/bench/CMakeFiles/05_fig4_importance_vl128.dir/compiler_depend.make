@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 05_fig4_importance_vl128.
+# This may be replaced when dependencies are built.

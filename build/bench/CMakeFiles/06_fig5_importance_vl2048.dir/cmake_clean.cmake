@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "06_fig5_importance_vl2048"
+  "06_fig5_importance_vl2048.pdb"
+  "CMakeFiles/06_fig5_importance_vl2048.dir/06_fig5_importance_vl2048.cpp.o"
+  "CMakeFiles/06_fig5_importance_vl2048.dir/06_fig5_importance_vl2048.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/06_fig5_importance_vl2048.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 06_fig5_importance_vl2048.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "07_fig6_vl_speedup"
+  "07_fig6_vl_speedup.pdb"
+  "CMakeFiles/07_fig6_vl_speedup.dir/07_fig6_vl_speedup.cpp.o"
+  "CMakeFiles/07_fig6_vl_speedup.dir/07_fig6_vl_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/07_fig6_vl_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 07_fig6_vl_speedup.
+# This may be replaced when dependencies are built.

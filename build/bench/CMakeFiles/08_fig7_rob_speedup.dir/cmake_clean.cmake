@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "08_fig7_rob_speedup"
+  "08_fig7_rob_speedup.pdb"
+  "CMakeFiles/08_fig7_rob_speedup.dir/08_fig7_rob_speedup.cpp.o"
+  "CMakeFiles/08_fig7_rob_speedup.dir/08_fig7_rob_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/08_fig7_rob_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

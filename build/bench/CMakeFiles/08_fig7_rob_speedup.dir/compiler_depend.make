@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for 08_fig7_rob_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for 08_fig7_rob_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "09_fig8_fpreg_speedup"
+  "09_fig8_fpreg_speedup.pdb"
+  "CMakeFiles/09_fig8_fpreg_speedup.dir/09_fig8_fpreg_speedup.cpp.o"
+  "CMakeFiles/09_fig8_fpreg_speedup.dir/09_fig8_fpreg_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/09_fig8_fpreg_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for 09_fig8_fpreg_speedup.
+# This may be replaced when dependencies are built.

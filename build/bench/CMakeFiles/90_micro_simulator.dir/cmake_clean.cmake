@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "90_micro_simulator"
+  "90_micro_simulator.pdb"
+  "CMakeFiles/90_micro_simulator.dir/90_micro_simulator.cpp.o"
+  "CMakeFiles/90_micro_simulator.dir/90_micro_simulator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/90_micro_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

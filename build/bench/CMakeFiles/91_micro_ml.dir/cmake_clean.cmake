@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "91_micro_ml"
+  "91_micro_ml.pdb"
+  "CMakeFiles/91_micro_ml.dir/91_micro_ml.cpp.o"
+  "CMakeFiles/91_micro_ml.dir/91_micro_ml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/91_micro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "92_ablation_surrogate"
+  "92_ablation_surrogate.pdb"
+  "CMakeFiles/92_ablation_surrogate.dir/92_ablation_surrogate.cpp.o"
+  "CMakeFiles/92_ablation_surrogate.dir/92_ablation_surrogate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/92_ablation_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

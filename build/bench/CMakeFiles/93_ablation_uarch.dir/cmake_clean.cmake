@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "93_ablation_uarch"
+  "93_ablation_uarch.pdb"
+  "CMakeFiles/93_ablation_uarch.dir/93_ablation_uarch.cpp.o"
+  "CMakeFiles/93_ablation_uarch.dir/93_ablation_uarch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/93_ablation_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "94_ablation_backend"
+  "94_ablation_backend.pdb"
+  "CMakeFiles/94_ablation_backend.dir/94_ablation_backend.cpp.o"
+  "CMakeFiles/94_ablation_backend.dir/94_ablation_backend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/94_ablation_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "95_unseen_codes"
+  "95_unseen_codes.pdb"
+  "CMakeFiles/95_unseen_codes.dir/95_unseen_codes.cpp.o"
+  "CMakeFiles/95_unseen_codes.dir/95_unseen_codes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/95_unseen_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

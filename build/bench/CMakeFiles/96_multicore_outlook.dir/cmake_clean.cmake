@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "96_multicore_outlook"
+  "96_multicore_outlook.pdb"
+  "CMakeFiles/96_multicore_outlook.dir/96_multicore_outlook.cpp.o"
+  "CMakeFiles/96_multicore_outlook.dir/96_multicore_outlook.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/96_multicore_outlook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for 96_multicore_outlook.
+# This may be replaced when dependencies are built.

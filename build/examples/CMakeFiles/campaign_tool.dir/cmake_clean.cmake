@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_tool.dir/campaign_tool.cpp.o"
+  "CMakeFiles/campaign_tool.dir/campaign_tool.cpp.o.d"
+  "campaign_tool"
+  "campaign_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

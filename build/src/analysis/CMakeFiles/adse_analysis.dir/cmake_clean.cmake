@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_analysis.dir/speedup.cpp.o"
+  "CMakeFiles/adse_analysis.dir/speedup.cpp.o.d"
+  "CMakeFiles/adse_analysis.dir/surrogate_eval.cpp.o"
+  "CMakeFiles/adse_analysis.dir/surrogate_eval.cpp.o.d"
+  "CMakeFiles/adse_analysis.dir/validation.cpp.o"
+  "CMakeFiles/adse_analysis.dir/validation.cpp.o.d"
+  "CMakeFiles/adse_analysis.dir/vectorisation.cpp.o"
+  "CMakeFiles/adse_analysis.dir/vectorisation.cpp.o.d"
+  "libadse_analysis.a"
+  "libadse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/adse_campaign.dir/campaign.cpp.o.d"
+  "libadse_campaign.a"
+  "libadse_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

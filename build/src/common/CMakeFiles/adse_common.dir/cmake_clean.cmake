@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_common.dir/csv.cpp.o"
+  "CMakeFiles/adse_common.dir/csv.cpp.o.d"
+  "CMakeFiles/adse_common.dir/env.cpp.o"
+  "CMakeFiles/adse_common.dir/env.cpp.o.d"
+  "CMakeFiles/adse_common.dir/rng.cpp.o"
+  "CMakeFiles/adse_common.dir/rng.cpp.o.d"
+  "CMakeFiles/adse_common.dir/stats.cpp.o"
+  "CMakeFiles/adse_common.dir/stats.cpp.o.d"
+  "CMakeFiles/adse_common.dir/strings.cpp.o"
+  "CMakeFiles/adse_common.dir/strings.cpp.o.d"
+  "CMakeFiles/adse_common.dir/text_table.cpp.o"
+  "CMakeFiles/adse_common.dir/text_table.cpp.o.d"
+  "CMakeFiles/adse_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/adse_common.dir/thread_pool.cpp.o.d"
+  "libadse_common.a"
+  "libadse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

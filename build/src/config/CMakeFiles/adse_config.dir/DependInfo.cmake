@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/baselines.cpp" "src/config/CMakeFiles/adse_config.dir/baselines.cpp.o" "gcc" "src/config/CMakeFiles/adse_config.dir/baselines.cpp.o.d"
+  "/root/repo/src/config/cpu_config.cpp" "src/config/CMakeFiles/adse_config.dir/cpu_config.cpp.o" "gcc" "src/config/CMakeFiles/adse_config.dir/cpu_config.cpp.o.d"
+  "/root/repo/src/config/param_space.cpp" "src/config/CMakeFiles/adse_config.dir/param_space.cpp.o" "gcc" "src/config/CMakeFiles/adse_config.dir/param_space.cpp.o.d"
+  "/root/repo/src/config/serialize.cpp" "src/config/CMakeFiles/adse_config.dir/serialize.cpp.o" "gcc" "src/config/CMakeFiles/adse_config.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_config.dir/baselines.cpp.o"
+  "CMakeFiles/adse_config.dir/baselines.cpp.o.d"
+  "CMakeFiles/adse_config.dir/cpu_config.cpp.o"
+  "CMakeFiles/adse_config.dir/cpu_config.cpp.o.d"
+  "CMakeFiles/adse_config.dir/param_space.cpp.o"
+  "CMakeFiles/adse_config.dir/param_space.cpp.o.d"
+  "CMakeFiles/adse_config.dir/serialize.cpp.o"
+  "CMakeFiles/adse_config.dir/serialize.cpp.o.d"
+  "libadse_config.a"
+  "libadse_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

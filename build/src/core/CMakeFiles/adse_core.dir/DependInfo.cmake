@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cpp" "src/core/CMakeFiles/adse_core.dir/core.cpp.o" "gcc" "src/core/CMakeFiles/adse_core.dir/core.cpp.o.d"
+  "/root/repo/src/core/register_files.cpp" "src/core/CMakeFiles/adse_core.dir/register_files.cpp.o" "gcc" "src/core/CMakeFiles/adse_core.dir/register_files.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/adse_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adse_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

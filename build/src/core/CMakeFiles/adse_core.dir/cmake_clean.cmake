@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_core.dir/core.cpp.o"
+  "CMakeFiles/adse_core.dir/core.cpp.o.d"
+  "CMakeFiles/adse_core.dir/register_files.cpp.o"
+  "CMakeFiles/adse_core.dir/register_files.cpp.o.d"
+  "libadse_core.a"
+  "libadse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

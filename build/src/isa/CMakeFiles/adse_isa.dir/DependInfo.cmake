@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/microop.cpp" "src/isa/CMakeFiles/adse_isa.dir/microop.cpp.o" "gcc" "src/isa/CMakeFiles/adse_isa.dir/microop.cpp.o.d"
+  "/root/repo/src/isa/ports.cpp" "src/isa/CMakeFiles/adse_isa.dir/ports.cpp.o" "gcc" "src/isa/CMakeFiles/adse_isa.dir/ports.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/adse_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/adse_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_isa.dir/microop.cpp.o"
+  "CMakeFiles/adse_isa.dir/microop.cpp.o.d"
+  "CMakeFiles/adse_isa.dir/ports.cpp.o"
+  "CMakeFiles/adse_isa.dir/ports.cpp.o.d"
+  "CMakeFiles/adse_isa.dir/program.cpp.o"
+  "CMakeFiles/adse_isa.dir/program.cpp.o.d"
+  "libadse_isa.a"
+  "libadse_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

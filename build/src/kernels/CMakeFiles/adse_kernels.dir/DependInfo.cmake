@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel_builder.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/kernel_builder.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/kernel_builder.cpp.o.d"
+  "/root/repo/src/kernels/minibude.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/minibude.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/minibude.cpp.o.d"
+  "/root/repo/src/kernels/minisweep.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/minisweep.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/minisweep.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/stream.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/stream.cpp.o.d"
+  "/root/repo/src/kernels/tealeaf.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/tealeaf.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/tealeaf.cpp.o.d"
+  "/root/repo/src/kernels/workloads.cpp" "src/kernels/CMakeFiles/adse_kernels.dir/workloads.cpp.o" "gcc" "src/kernels/CMakeFiles/adse_kernels.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/adse_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

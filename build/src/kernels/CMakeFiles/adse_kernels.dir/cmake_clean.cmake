@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_kernels.dir/kernel_builder.cpp.o"
+  "CMakeFiles/adse_kernels.dir/kernel_builder.cpp.o.d"
+  "CMakeFiles/adse_kernels.dir/minibude.cpp.o"
+  "CMakeFiles/adse_kernels.dir/minibude.cpp.o.d"
+  "CMakeFiles/adse_kernels.dir/minisweep.cpp.o"
+  "CMakeFiles/adse_kernels.dir/minisweep.cpp.o.d"
+  "CMakeFiles/adse_kernels.dir/stream.cpp.o"
+  "CMakeFiles/adse_kernels.dir/stream.cpp.o.d"
+  "CMakeFiles/adse_kernels.dir/tealeaf.cpp.o"
+  "CMakeFiles/adse_kernels.dir/tealeaf.cpp.o.d"
+  "CMakeFiles/adse_kernels.dir/workloads.cpp.o"
+  "CMakeFiles/adse_kernels.dir/workloads.cpp.o.d"
+  "libadse_kernels.a"
+  "libadse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

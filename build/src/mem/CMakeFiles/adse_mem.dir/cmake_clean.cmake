@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_mem.dir/cache.cpp.o"
+  "CMakeFiles/adse_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/adse_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/adse_mem.dir/hierarchy.cpp.o.d"
+  "libadse_mem.a"
+  "libadse_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

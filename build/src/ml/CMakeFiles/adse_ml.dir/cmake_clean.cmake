@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_ml.dir/dataset.cpp.o"
+  "CMakeFiles/adse_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/adse_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/adse_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/adse_ml.dir/forest.cpp.o"
+  "CMakeFiles/adse_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/adse_ml.dir/importance.cpp.o"
+  "CMakeFiles/adse_ml.dir/importance.cpp.o.d"
+  "CMakeFiles/adse_ml.dir/metrics.cpp.o"
+  "CMakeFiles/adse_ml.dir/metrics.cpp.o.d"
+  "libadse_ml.a"
+  "libadse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adse_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adse_sim.dir/hardware_proxy.cpp.o"
+  "CMakeFiles/adse_sim.dir/hardware_proxy.cpp.o.d"
+  "CMakeFiles/adse_sim.dir/simulation.cpp.o"
+  "CMakeFiles/adse_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/adse_sim.dir/stats_report.cpp.o"
+  "CMakeFiles/adse_sim.dir/stats_report.cpp.o.d"
+  "libadse_sim.a"
+  "libadse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/adse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/campaign/CMakeFiles/adse_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/adse_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adse_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/adse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/adse_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

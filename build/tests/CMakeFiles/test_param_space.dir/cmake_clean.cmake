@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_space.dir/test_param_space.cpp.o"
+  "CMakeFiles/test_param_space.dir/test_param_space.cpp.o.d"
+  "test_param_space"
+  "test_param_space.pdb"
+  "test_param_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_files.dir/test_register_files.cpp.o"
+  "CMakeFiles/test_register_files.dir/test_register_files.cpp.o.d"
+  "test_register_files"
+  "test_register_files.pdb"
+  "test_register_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
