@@ -14,28 +14,20 @@
 
 namespace adse::campaign {
 
-namespace {
-
-/// Traces depend only on (app, vector length); building one takes longer than
-/// some simulations, so share them across the campaign.
-class TraceCache {
- public:
-  const isa::Program& get(kernels::App app, int vl) {
-    const auto key = std::make_pair(static_cast<int>(app), vl);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      it = cache_.emplace(key, kernels::build_app(app, vl)).first;
-    }
-    return it->second;
+const isa::Program& TraceCache::get(kernels::App app, int vl) {
+  const auto key = std::make_pair(static_cast<int>(app), vl);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, kernels::build_app(app, vl)).first;
   }
+  return it->second;
+}
 
- private:
-  std::mutex mutex_;
-  std::map<std::pair<int, int>, isa::Program> cache_;
-};
-
-}  // namespace
+std::size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
 
 std::vector<std::string> feature_names() {
   std::vector<std::string> names;
@@ -150,11 +142,30 @@ CampaignResult load_or_run(const CampaignSpec& spec) {
       std::fprintf(stderr, "[campaign %s] loading cached dataset %s\n",
                    spec.label.c_str(), path.c_str());
     }
-    return result_from_table(read_csv(path));
+    // A cache written by an older build (different schema) or a row count
+    // that no longer matches the spec must not abort the run: warn, drop the
+    // stale file and rebuild.
+    try {
+      CampaignResult cached = result_from_table(read_csv(path));
+      ADSE_REQUIRE_MSG(cached.table.num_rows() ==
+                           static_cast<std::size_t>(spec.num_configs),
+                       "cached campaign has " << cached.table.num_rows()
+                                              << " rows, spec wants "
+                                              << spec.num_configs);
+      return cached;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[campaign %s] stale cache %s (%s); rebuilding\n",
+                   spec.label.c_str(), path.c_str(), e.what());
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
   }
   CampaignResult result = run_campaign(spec);
   std::filesystem::create_directories(cache_dir());
-  write_csv(path, result.table);
+  // Atomic publish: a killed run or a concurrently started bench binary must
+  // never leave (or read) a truncated cache.
+  write_csv_atomic(path, result.table);
   if (spec.verbose) {
     std::fprintf(stderr, "[campaign %s] cached dataset at %s\n",
                  spec.label.c_str(), path.c_str());

@@ -8,16 +8,37 @@
 /// bench binary pays the campaign cost at most once.
 
 #include <array>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "config/cpu_config.hpp"
+#include "isa/program.hpp"
 #include "kernels/workloads.hpp"
 #include "ml/dataset.hpp"
 
 namespace adse::campaign {
+
+/// Thread-safe memo for workload traces. Traces depend only on
+/// (app, vector length); building one takes longer than some simulations, so
+/// every concurrent evaluator — the campaign runner and the DSE search loop —
+/// shares them across a run.
+class TraceCache {
+ public:
+  /// Returns the trace for (app, vl), building it on first use. The returned
+  /// reference stays valid for the cache's lifetime.
+  const isa::Program& get(kernels::App app, int vl);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, isa::Program> cache_;
+};
 
 struct CampaignSpec {
   std::string label = "main";       ///< cache key component

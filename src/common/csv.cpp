@@ -1,5 +1,7 @@
 #include "common/csv.hpp"
 
+#include <unistd.h>
+
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
@@ -51,6 +53,20 @@ void write_csv(const std::string& path, const CsvTable& table) {
   }
   f.flush();
   ADSE_REQUIRE_MSG(f.good(), "write to '" << path << "' failed");
+}
+
+void write_csv_atomic(const std::string& path, const CsvTable& table) {
+  // Process-unique sibling on the same filesystem, so the rename is atomic.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  write_csv(tmp, table);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    ADSE_REQUIRE_MSG(false, "atomic rename of '" << tmp << "' to '" << path
+                                                 << "' failed: " << ec.message());
+  }
 }
 
 CsvTable read_csv(const std::string& path) {

@@ -28,6 +28,11 @@ struct CsvTable {
 /// enough precision to round-trip doubles.
 void write_csv(const std::string& path, const CsvTable& table);
 
+/// Crash-safe variant: writes to a process-unique `.tmp` sibling and renames
+/// it into place, so readers never observe a truncated file and two
+/// concurrent writers cannot interleave (the last rename wins atomically).
+void write_csv_atomic(const std::string& path, const CsvTable& table);
+
 /// Reads a table from `path`; throws on I/O or parse failure, including
 /// ragged rows.
 CsvTable read_csv(const std::string& path);

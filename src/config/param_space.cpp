@@ -37,6 +37,42 @@ double ParamSpec::sample(Rng& rng, std::optional<double> raised_min) const {
   return candidates[rng.index(candidates.size())];
 }
 
+double ParamSpec::neighbor(double current, Rng& rng,
+                           std::optional<double> raised_min) const {
+  const double lo = raised_min ? std::max(min, *raised_min) : min;
+  ADSE_REQUIRE_MSG(lo <= max, "raised lower bound " << lo << " above max "
+                                                    << max << " for '" << name
+                                                    << "'");
+  if (kind == StepKind::kReal) {
+    const double span = (max - min) * 0.1;
+    const double jittered = current + rng.uniform_real(-span, span);
+    return std::clamp(jittered, lo, max);
+  }
+  const std::vector<double> vals = values();
+  // Index of the value closest to `current` (mutation chains may hand us a
+  // value that a constraint repair moved off-grid).
+  std::size_t idx = 0;
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    if (std::abs(vals[i] - current) < std::abs(vals[idx] - current)) idx = i;
+  }
+  std::vector<double> moves;
+  if (idx > 0 && vals[idx - 1] >= lo) moves.push_back(vals[idx - 1]);
+  if (idx + 1 < vals.size() && vals[idx + 1] >= lo) moves.push_back(vals[idx + 1]);
+  if (moves.empty()) return raise_to(lo);
+  return moves[rng.index(moves.size())];
+}
+
+double ParamSpec::raise_to(double lo) const {
+  ADSE_REQUIRE_MSG(lo <= max, "cannot raise '" << name << "' to " << lo
+                                               << " (max " << max << ")");
+  if (kind == StepKind::kReal) return std::max(min, lo);
+  for (double v : values()) {
+    if (v >= lo - 1e-9) return v;
+  }
+  ADSE_REQUIRE_MSG(false, "no value >= " << lo << " for '" << name << "'");
+  return max;
+}
+
 bool ParamSpec::contains(double v) const {
   if (kind == StepKind::kReal) return v >= min && v <= max;
   for (double x : values()) {
@@ -162,6 +198,71 @@ CpuConfig ParameterSpace::sample(Rng& rng,
 
   CpuConfig config = config_from_features(f);
   config.name = "sampled";
+  validate(config);
+  return config;
+}
+
+CpuConfig ParameterSpace::mutate(const CpuConfig& base, Rng& rng, double rate,
+                                 const SampleConstraints& constraints) const {
+  ADSE_REQUIRE_MSG(rate > 0.0 && rate <= 1.0, "mutation rate " << rate
+                                                               << " not in (0, 1]");
+  std::array<double, kNumParams> f = feature_vector(base);
+  auto at = [&f](ParamId id) -> double& {
+    return f[static_cast<std::size_t>(id)];
+  };
+
+  const bool vl_pinned = constraints.fixed_vector_length.has_value();
+  if (vl_pinned) {
+    const double vl = *constraints.fixed_vector_length;
+    ADSE_REQUIRE_MSG(spec(ParamId::kVectorLength).contains(vl),
+                     "fixed vector length " << vl << " outside range");
+    at(ParamId::kVectorLength) = vl;
+  }
+
+  // Pick the set of parameters to move; resample until at least one moves so
+  // every mutant differs from its parent.
+  std::array<bool, kNumParams> move{};
+  bool any = false;
+  while (!any) {
+    for (std::size_t i = 0; i < kNumParams; ++i) {
+      if (vl_pinned && static_cast<ParamId>(i) == ParamId::kVectorLength) {
+        move[i] = false;
+        continue;
+      }
+      move[i] = rng.bernoulli(rate);
+      any = any || move[i];
+    }
+  }
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    if (move[i]) f[i] = specs_[i].neighbor(f[i], rng);
+  }
+
+  // Re-establish the §V-A dependent bounds the independent moves may have
+  // broken, always by raising the dependent side (the cheapest repair that
+  // keeps the mutated values).
+  const double vl_bytes = at(ParamId::kVectorLength) / 8.0;
+  if (at(ParamId::kLoadBandwidth) < vl_bytes) {
+    at(ParamId::kLoadBandwidth) = spec(ParamId::kLoadBandwidth).raise_to(vl_bytes);
+  }
+  if (at(ParamId::kStoreBandwidth) < vl_bytes) {
+    at(ParamId::kStoreBandwidth) =
+        spec(ParamId::kStoreBandwidth).raise_to(vl_bytes);
+  }
+  if (at(ParamId::kL2Size) <= at(ParamId::kL1Size)) {
+    at(ParamId::kL2Size) = spec(ParamId::kL2Size).raise_to(at(ParamId::kL1Size) * 2);
+  }
+  if (at(ParamId::kL2Latency) <= at(ParamId::kL1Latency)) {
+    at(ParamId::kL2Latency) =
+        spec(ParamId::kL2Latency).raise_to(at(ParamId::kL1Latency) + 1);
+  }
+  // Same geometric repair as sample(): capacity must hold at least one set.
+  while (at(ParamId::kL1Size) * 1024.0 <
+         at(ParamId::kCacheLineWidth) * at(ParamId::kL1Assoc)) {
+    at(ParamId::kL1Assoc) /= 2;
+  }
+
+  CpuConfig config = config_from_features(f);
+  config.name = "mutated";
   validate(config);
   return config;
 }

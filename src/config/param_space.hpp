@@ -42,6 +42,19 @@ struct ParamSpec {
   /// range; the draw is uniform over the remaining values.
   double sample(Rng& rng, std::optional<double> raised_min = std::nullopt) const;
 
+  /// One local move from `current`: a uniformly chosen adjacent value of the
+  /// discrete range (one step/power up or down), or a small uniform jitter
+  /// (±10% of the span, clamped) for continuous parameters. Honours an
+  /// optional raised lower bound the same way sample() does; if no neighbour
+  /// satisfies it the smallest admissible value is returned. The result is
+  /// always a member of the range.
+  double neighbor(double current, Rng& rng,
+                  std::optional<double> raised_min = std::nullopt) const;
+
+  /// Smallest range value >= `lo` (used to repair dependent constraints
+  /// after mutation). Throws if `lo` exceeds the range maximum.
+  double raise_to(double lo) const;
+
   /// True if `v` is a member of this parameter's range.
   bool contains(double v) const;
 };
@@ -65,6 +78,15 @@ class ParameterSpace {
 
   /// Draws one valid configuration. Always satisfies validate().
   CpuConfig sample(Rng& rng, const SampleConstraints& constraints = {}) const;
+
+  /// Neighbourhood mutation for local search: each parameter moves to an
+  /// adjacent range value with probability `rate` (at least one parameter
+  /// always moves), then the §V-A dependent bounds (load/store bandwidth ≥
+  /// one vector, L2 larger and slower than L1) and the L1 geometry are
+  /// re-established by raising/halving the dependent parameters. The result
+  /// always satisfies validate(); a pinned vector length is preserved.
+  CpuConfig mutate(const CpuConfig& base, Rng& rng, double rate = 0.2,
+                   const SampleConstraints& constraints = {}) const;
 
  private:
   std::vector<ParamSpec> specs_;

@@ -1,0 +1,99 @@
+#include "dse/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace adse::dse {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+/// Standard normal CDF.
+double norm_cdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+/// Standard normal PDF.
+double norm_pdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+}  // namespace
+
+const std::string& acquisition_name(AcquisitionKind kind) {
+  static const std::string kEi = "ei";
+  static const std::string kLcb = "lcb";
+  static const std::string kGreedy = "greedy";
+  switch (kind) {
+    case AcquisitionKind::kExpectedImprovement: return kEi;
+    case AcquisitionKind::kLowerConfidenceBound: return kLcb;
+    case AcquisitionKind::kGreedy: return kGreedy;
+  }
+  ADSE_REQUIRE_MSG(false, "unknown acquisition kind");
+  return kEi;  // unreachable
+}
+
+double expected_improvement(double mean, double std, double best, double xi) {
+  ADSE_REQUIRE_MSG(std >= 0.0, "negative predictive std " << std);
+  const double gap = best - xi - mean;  // improvement if the mean were exact
+  if (std <= 0.0) return std::max(gap, 0.0);
+  const double z = gap / std;
+  return gap * norm_cdf(z) + std * norm_pdf(z);
+}
+
+double acquisition_score(const AcquisitionOptions& options,
+                         const ml::PredictionDistribution& dist, double best) {
+  switch (options.kind) {
+    case AcquisitionKind::kExpectedImprovement:
+      return expected_improvement(dist.mean, dist.std, best, options.xi);
+    case AcquisitionKind::kLowerConfidenceBound:
+      return -(dist.mean - options.beta * dist.std);
+    case AcquisitionKind::kGreedy:
+      return -dist.mean;
+  }
+  ADSE_REQUIRE_MSG(false, "unknown acquisition kind");
+  return 0.0;  // unreachable
+}
+
+std::vector<double> acquisition_scores(
+    const AcquisitionOptions& options,
+    const std::vector<ml::PredictionDistribution>& dists, double best) {
+  std::vector<double> out;
+  out.reserve(dists.size());
+  for (const auto& dist : dists) {
+    out.push_back(acquisition_score(options, dist, best));
+  }
+  return out;
+}
+
+double acquisition_entropy(const std::vector<double>& scores) {
+  if (scores.empty()) return 0.0;
+  const double lo = *std::min_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (double s : scores) total += s - lo;
+  const double n = static_cast<double>(scores.size());
+  if (total <= 0.0) return std::log(n);  // fully undecided
+  double entropy = 0.0;
+  for (double s : scores) {
+    const double p = (s - lo) / total;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::vector<std::size_t> top_k_indices(const std::vector<double>& scores,
+                                       std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&scores](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace adse::dse

@@ -1,0 +1,69 @@
+#pragma once
+/// \file acquisition.hpp
+/// Uncertainty-aware acquisition functions for surrogate-guided design-space
+/// search. The surrogate (a bagged forest, ml::RandomForestRegressor) returns
+/// a predictive mean and an ensemble spread per candidate; an acquisition
+/// function folds the two into a single "worth simulating next" score. All
+/// scores are for MINIMISATION of the objective (execution cycles): higher
+/// score = simulate sooner.
+
+#include <string>
+#include <vector>
+
+#include "ml/forest.hpp"
+
+namespace adse::dse {
+
+enum class AcquisitionKind {
+  /// Closed-form expected improvement over the incumbent under a normal
+  /// posterior — the classic exploration/exploitation balance.
+  kExpectedImprovement,
+  /// Lower confidence bound, scored as -(mean - beta * std): optimistic
+  /// under uncertainty (the minimisation analogue of UCB).
+  kLowerConfidenceBound,
+  /// Pure exploitation: -mean. Ignores uncertainty entirely; the ablation
+  /// baseline that shows why the spread term earns its keep.
+  kGreedy,
+};
+
+/// Display name ("ei", "lcb", "greedy") for reports and journal files.
+const std::string& acquisition_name(AcquisitionKind kind);
+
+struct AcquisitionOptions {
+  AcquisitionKind kind = AcquisitionKind::kExpectedImprovement;
+  /// Exploration weight for kLowerConfidenceBound.
+  double beta = 2.0;
+  /// Minimum-improvement margin for kExpectedImprovement (in objective
+  /// units); 0 is the textbook form.
+  double xi = 0.0;
+};
+
+/// Expected improvement of a normal posterior N(mean, std²) below the
+/// incumbent `best` (minimisation), with optional margin `xi`. Zero-std
+/// candidates degrade gracefully to max(best - xi - mean, 0).
+double expected_improvement(double mean, double std, double best,
+                            double xi = 0.0);
+
+/// Scores one candidate under the configured acquisition. `best` is the best
+/// (lowest) objective simulated so far.
+double acquisition_score(const AcquisitionOptions& options,
+                         const ml::PredictionDistribution& dist, double best);
+
+/// Scores a whole candidate pool (same argument order per element).
+std::vector<double> acquisition_scores(
+    const AcquisitionOptions& options,
+    const std::vector<ml::PredictionDistribution>& dists, double best);
+
+/// Shannon entropy (nats) of the score vector normalised to a probability
+/// distribution (scores are shifted so the minimum is zero). High entropy =
+/// the acquisition is undecided across the pool (early exploration); near
+/// zero = the ranking has collapsed onto a few candidates (late
+/// exploitation). Uniform-zero scores return the maximum, ln(n).
+double acquisition_entropy(const std::vector<double>& scores);
+
+/// Indices of the `k` highest-scoring candidates, best first (ties broken by
+/// lower index, k clamped to the pool size).
+std::vector<std::size_t> top_k_indices(const std::vector<double>& scores,
+                                       std::size_t k);
+
+}  // namespace adse::dse

@@ -1,0 +1,47 @@
+#include "dse/candidates.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::dse {
+
+bool SeenSet::insert(const config::CpuConfig& config) {
+  return seen_.insert(config::feature_vector(config)).second;
+}
+
+bool SeenSet::contains(const config::CpuConfig& config) const {
+  return seen_.count(config::feature_vector(config)) > 0;
+}
+
+std::vector<config::CpuConfig> generate_candidates(
+    const config::ParameterSpace& space, const CandidateOptions& options,
+    const std::vector<config::CpuConfig>& incumbents, const SeenSet& simulated,
+    Rng& rng, const config::SampleConstraints& constraints) {
+  ADSE_REQUIRE(options.uniform_draws >= 0);
+  ADSE_REQUIRE(options.num_incumbents >= 0);
+  ADSE_REQUIRE(options.mutants_per_incumbent >= 0);
+
+  std::vector<config::CpuConfig> pool;
+  SeenSet in_pool;
+  auto admit = [&](config::CpuConfig candidate) {
+    if (simulated.contains(candidate)) return;
+    if (!in_pool.insert(candidate)) return;
+    pool.push_back(std::move(candidate));
+  };
+
+  for (int i = 0; i < options.uniform_draws; ++i) {
+    admit(space.sample(rng, constraints));
+  }
+
+  const std::size_t incumbent_count =
+      std::min(static_cast<std::size_t>(options.num_incumbents),
+               incumbents.size());
+  for (std::size_t i = 0; i < incumbent_count; ++i) {
+    for (int m = 0; m < options.mutants_per_incumbent; ++m) {
+      admit(space.mutate(incumbents[i], rng, options.mutation_rate,
+                         constraints));
+    }
+  }
+  return pool;
+}
+
+}  // namespace adse::dse

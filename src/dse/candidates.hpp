@@ -1,0 +1,56 @@
+#pragma once
+/// \file candidates.hpp
+/// Candidate generation for the search loop: a pool of configurations the
+/// surrogate scores each round. Two sources, both constraint-correct by
+/// construction (they go through config::ParameterSpace, so the §V-A
+/// invariants — load/store bandwidth ≥ one vector, L2 larger and slower than
+/// L1 — hold for every candidate):
+///   * global coverage — uniform draws, the same sampler the campaign uses;
+///   * local refinement — neighbourhood mutants of the incumbent (best
+///     simulated) configurations, one metadata step per moved parameter.
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/param_space.hpp"
+
+namespace adse::dse {
+
+struct CandidateOptions {
+  /// Uniform draws per round (global exploration).
+  int uniform_draws = 384;
+  /// Incumbents (best evaluated configs) seeding local mutation.
+  int num_incumbents = 6;
+  /// Mutants generated per incumbent.
+  int mutants_per_incumbent = 24;
+  /// Per-parameter move probability for each mutant.
+  double mutation_rate = 0.2;
+};
+
+/// Tracks which points of the (discrete) design space were already simulated
+/// or proposed, so the surrogate's simulation budget is never spent twice on
+/// one configuration.
+class SeenSet {
+ public:
+  /// Inserts the configuration's feature vector; returns true if new.
+  bool insert(const config::CpuConfig& config);
+  bool contains(const config::CpuConfig& config) const;
+  std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::set<std::array<double, config::kNumParams>> seen_;
+};
+
+/// Builds one round's candidate pool: uniform draws plus mutants of the
+/// incumbents, deduplicated against the already-simulated set and within the
+/// pool itself (unsimulated candidates may be re-proposed in later rounds —
+/// the refitted surrogate re-scores them). The pool may be smaller than
+/// requested when duplicates are dropped.
+std::vector<config::CpuConfig> generate_candidates(
+    const config::ParameterSpace& space, const CandidateOptions& options,
+    const std::vector<config::CpuConfig>& incumbents, const SeenSet& simulated,
+    Rng& rng, const config::SampleConstraints& constraints = {});
+
+}  // namespace adse::dse

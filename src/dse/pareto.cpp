@@ -1,0 +1,33 @@
+#include "dse/pareto.hpp"
+
+#include "common/require.hpp"
+
+namespace adse::dse {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  ADSE_REQUIRE_MSG(a.size() == b.size(), "objective width mismatch: "
+                                             << a.size() << " vs " << b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::vector<double>>& objectives) {
+  // O(n²) pairwise scan — fronts here come from search runs of a few hundred
+  // evaluations, far below the point where a divide-and-conquer pays off.
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < objectives.size() && !dominated; ++j) {
+      if (j != i && dominates(objectives[j], objectives[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace adse::dse

@@ -1,0 +1,23 @@
+#pragma once
+/// \file pareto.hpp
+/// Pareto-front extraction for the multi-objective search mode. The geomean
+/// objective finds one compromise point; the front shows every trade-off the
+/// campaign actually observed between two applications (e.g. a STREAM-optimal
+/// memory system vs a MiniBude-optimal vector engine).
+
+#include <cstddef>
+#include <vector>
+
+namespace adse::dse {
+
+/// True if `a` dominates `b` under minimisation: a <= b in every objective
+/// and a < b in at least one. Both vectors must have the same width.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated points of `objectives` (rows = points,
+/// columns = objectives, all minimised), in ascending index order.
+/// Duplicate points are all kept (none dominates an identical twin).
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::vector<double>>& objectives);
+
+}  // namespace adse::dse

@@ -1,0 +1,120 @@
+#pragma once
+/// \file search.hpp
+/// The surrogate-guided design-space search loop — the §VII step the paper
+/// stops short of: instead of *explaining* a passively sampled campaign, use
+/// the surrogate to *find* strong configurations with far fewer simulations.
+///
+/// Each round: (propose) draw a constraint-correct candidate pool — uniform
+/// draws plus neighbourhood mutants of the incumbents; (score) rank the pool
+/// with an uncertainty-aware acquisition over the forest surrogate's
+/// predictive distribution; (simulate) run only the top-k candidates on the
+/// thread pool; (refit) retrain the surrogate on the grown dataset and
+/// journal the round's telemetry. State (journal + evaluations) is published
+/// atomically under the cache dir after every round, so a search is
+/// introspectable while running and resumable after a kill.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "dse/acquisition.hpp"
+#include "dse/candidates.hpp"
+#include "dse/telemetry.hpp"
+#include "kernels/workloads.hpp"
+#include "ml/forest.hpp"
+
+namespace adse::dse {
+
+enum class Objective {
+  /// Minimise one application's simulated cycles.
+  kSingleApp,
+  /// Minimise the geometric mean of all four applications' cycles (the
+  /// balanced-machine objective); per-app cycles are kept for Pareto fronts.
+  kGeomeanAllApps,
+};
+
+/// Forest defaults tuned for the search loop: enough trees for a stable
+/// spread estimate, per-split feature subsampling for ensemble diversity.
+ml::ForestOptions default_surrogate_options();
+
+struct SearchOptions {
+  std::string label = "dse";        ///< journal/state cache key
+  Objective objective = Objective::kSingleApp;
+  kernels::App app = kernels::App::kStream;  ///< target for kSingleApp
+
+  int max_simulations = 120;  ///< total configurations simulated (the budget)
+  int initial_samples = 24;   ///< round-0 uniform batch that seeds the model
+  int batch_size = 8;         ///< configurations simulated per round
+
+  CandidateOptions candidates;
+  AcquisitionOptions acquisition;
+  ml::ForestOptions forest = default_surrogate_options();
+
+  /// Fraction of each round's batch taken greedily at the lowest predicted
+  /// mean; the remaining slots follow the acquisition ranking. Pure EI
+  /// over-explores while the surrogate's spread still dwarfs the remaining
+  /// improvement gap — the greedy share keeps the batch converging through
+  /// that regime (in [0, 1]; 0 = pure acquisition, 1 = pure greedy).
+  double exploit_fraction = 0.5;
+
+  /// Fit the surrogate on log(objective) and run the acquisition in log
+  /// space. Cycle counts span orders of magnitude across the space, so a
+  /// raw-space forest's error on slow configurations swamps the differences
+  /// that matter near the optimum; the log transform equalises relative
+  /// error. Requires a strictly positive objective (cycles always are).
+  bool log_objective = true;
+
+  /// Pin the vector length (propagated to sampling and mutation).
+  std::optional<int> fixed_vector_length;
+
+  std::uint64_t seed = 42;
+  int threads = 1;
+  bool verbose = false;
+  /// Publish journal + evaluation state CSVs after every round and resume
+  /// from existing state on start. Off = fully in-memory (tests).
+  bool persist = true;
+};
+
+/// One simulated configuration. In kSingleApp mode only the target app's
+/// cycles entry is populated (others stay 0).
+struct EvaluatedConfig {
+  config::CpuConfig config;
+  std::array<double, kernels::kNumApps> cycles{};
+  double objective_value = 0.0;
+};
+
+struct SearchResult {
+  std::vector<EvaluatedConfig> evaluated;  ///< in simulation order
+  std::size_t best_index = 0;
+  Journal journal;
+  std::string journal_file;  ///< empty when persist was off
+
+  const EvaluatedConfig& best() const { return evaluated[best_index]; }
+
+  /// Best-so-far objective after each simulation — the sample-efficiency
+  /// curve guided-vs-random comparisons plot.
+  std::vector<double> best_so_far() const;
+
+  /// Simulations spent before first reaching an objective <= `target`
+  /// (evaluated.size() + 1 if never reached).
+  std::size_t sims_to_reach(double target) const;
+
+  /// Pareto front between two apps' cycle counts (kGeomeanAllApps runs
+  /// only); returns indices into `evaluated`.
+  std::vector<std::size_t> pareto_between(kernels::App a, kernels::App b) const;
+};
+
+/// Runs the surrogate-guided search.
+SearchResult search(const SearchOptions& options);
+
+/// Pure uniform-random baseline at the same budget through the same
+/// evaluation machinery (equal-cost comparison for bench/97).
+SearchResult random_search(const SearchOptions& options);
+
+/// State file the search resumes from ("<cache_dir>/dse_<label>_evals.csv").
+std::string evaluations_path(const std::string& label);
+
+}  // namespace adse::dse

@@ -1,0 +1,72 @@
+#include "dse/telemetry.hpp"
+
+#include <filesystem>
+
+#include "common/env.hpp"
+#include "common/require.hpp"
+
+namespace adse::dse {
+
+namespace {
+
+const std::vector<std::string>& journal_columns() {
+  static const std::vector<std::string> kColumns = {
+      "round",         "sims_total",          "pool_size",
+      "best_objective", "surrogate_oob_mae", "acquisition_entropy",
+      "round_seconds"};
+  return kColumns;
+}
+
+}  // namespace
+
+CsvTable Journal::to_table() const {
+  CsvTable table;
+  table.columns = journal_columns();
+  table.rows.reserve(rounds.size());
+  for (const RoundRecord& r : rounds) {
+    table.rows.push_back({static_cast<double>(r.round),
+                          static_cast<double>(r.sims_total),
+                          static_cast<double>(r.pool_size), r.best_objective,
+                          r.surrogate_oob_mae, r.acquisition_entropy,
+                          r.round_seconds});
+  }
+  return table;
+}
+
+Journal Journal::from_table(const CsvTable& table) {
+  const auto& expected = journal_columns();
+  ADSE_REQUIRE_MSG(table.columns == expected,
+                   "unexpected journal schema (" << table.columns.size()
+                                                 << " columns)");
+  Journal journal;
+  journal.rounds.reserve(table.num_rows());
+  for (const auto& row : table.rows) {
+    RoundRecord r;
+    r.round = static_cast<int>(row[0]);
+    r.sims_total = static_cast<int>(row[1]);
+    r.pool_size = static_cast<int>(row[2]);
+    r.best_objective = row[3];
+    r.surrogate_oob_mae = row[4];
+    r.acquisition_entropy = row[5];
+    r.round_seconds = row[6];
+    journal.rounds.push_back(r);
+  }
+  return journal;
+}
+
+std::string journal_path(const std::string& label) {
+  return cache_dir() + "/dse_" + label + "_journal.csv";
+}
+
+void write_journal(const std::string& path, const Journal& journal) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  write_csv_atomic(path, journal.to_table());
+}
+
+Journal load_journal(const std::string& path) {
+  ADSE_REQUIRE_MSG(file_exists(path), "no journal at '" << path << "'");
+  return Journal::from_table(read_csv(path));
+}
+
+}  // namespace adse::dse

@@ -74,6 +74,34 @@ double RandomForestRegressor::predict(const std::vector<double>& row) const {
   return total / static_cast<double>(trees_.size());
 }
 
+PredictionDistribution RandomForestRegressor::predict_dist(
+    const std::vector<double>& row) const {
+  ADSE_REQUIRE_MSG(fitted(), "predict_dist() before fit()");
+  // Welford over the per-tree predictions: one pass, no O(trees) buffer.
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (const auto& tree : trees_) {
+    const double p = tree.predict(row);
+    ++n;
+    const double delta = p - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (p - mean);
+  }
+  PredictionDistribution dist;
+  dist.mean = mean;
+  dist.std = n > 1 ? std::sqrt(m2 / static_cast<double>(n)) : 0.0;
+  return dist;
+}
+
+std::vector<PredictionDistribution> RandomForestRegressor::predict_dist_all(
+    const Dataset& data) const {
+  std::vector<PredictionDistribution> out;
+  out.reserve(data.num_rows());
+  for (const auto& row : data.x) out.push_back(predict_dist(row));
+  return out;
+}
+
 std::vector<double> RandomForestRegressor::predict_all(
     const Dataset& data) const {
   std::vector<double> out;

@@ -16,6 +16,16 @@
 
 namespace adse::ml {
 
+/// Ensemble prediction with an uncertainty estimate: the mean of the
+/// per-tree predictions and their population standard deviation. The spread
+/// of a bagged ensemble is the classic cheap epistemic-uncertainty proxy the
+/// DSE acquisition functions need — zero where every bootstrap agrees
+/// (well-covered regions of the design space), large where they diverge.
+struct PredictionDistribution {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
 struct ForestOptions {
   int num_trees = 50;
   /// Features considered per split (0 = all, i.e. pure bagging;
@@ -38,6 +48,13 @@ class RandomForestRegressor {
   /// Mean prediction over the ensemble.
   double predict(const std::vector<double>& row) const;
   std::vector<double> predict_all(const Dataset& data) const;
+
+  /// Per-tree mean and ensemble standard deviation for one row.
+  /// `dist.mean` equals predict(row); `dist.std` is 0 for a single-tree
+  /// forest or wherever all trees agree (e.g. a constant target).
+  PredictionDistribution predict_dist(const std::vector<double>& row) const;
+  std::vector<PredictionDistribution> predict_dist_all(
+      const Dataset& data) const;
 
   bool fitted() const { return !trees_.empty(); }
   std::size_t num_trees() const { return trees_.size(); }

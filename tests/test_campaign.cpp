@@ -122,6 +122,67 @@ TEST(Campaign, LoadOrRunUsesCache) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Campaign, StaleCacheIsDroppedAndRebuilt) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_stale_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  CampaignSpec spec = tiny_spec();
+  spec.num_configs = 8;
+  // A cache written by "an older build": wrong schema entirely.
+  write_csv(cache_path(spec), CsvTable{{"old_col_a", "old_col_b"},
+                                       {{1.0, 2.0}, {3.0, 4.0}}});
+  const CampaignResult result = load_or_run(spec);  // must not throw
+  EXPECT_EQ(result.table.num_rows(), 8u);
+  // The bad file was replaced by a loadable one.
+  const CampaignResult again = load_or_run(spec);
+  EXPECT_EQ(again.table.rows, result.table.rows);
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, TruncatedCacheIsDroppedAndRebuilt) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_trunc_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  CampaignSpec spec = tiny_spec();
+  spec.num_configs = 8;
+  const CampaignResult full = load_or_run(spec);
+  // Simulate a killed writer from before atomic publication: valid header,
+  // fewer rows than the spec demands.
+  CsvTable truncated = full.table;
+  truncated.rows.resize(3);
+  write_csv(cache_path(spec), truncated);
+  const CampaignResult recovered = load_or_run(spec);
+  EXPECT_EQ(recovered.table.rows, full.table.rows);
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, CachePublicationLeavesNoTempFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_tmp_test";
+  std::filesystem::remove_all(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  CampaignSpec spec = tiny_spec();
+  spec.num_configs = 6;
+  load_or_run(spec);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".csv") << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Campaign, DefaultSpecsHonourEnv) {
   setenv("ADSE_CONFIGS", "123", 1);
   setenv("ADSE_SEED", "9", 1);

@@ -1,6 +1,7 @@
 #include "common/csv.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -14,7 +15,10 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "adse_csv_test";
+    // Process-unique: ctest runs each case as its own process in parallel,
+    // so a shared directory would race with concurrent TearDowns.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("adse_csv_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -114,6 +118,34 @@ TEST_F(CsvTest, FileExists) {
   write_csv(path("q.csv"), t);
   EXPECT_TRUE(file_exists(path("q.csv")));
   EXPECT_FALSE(file_exists(dir_.string()));  // a directory is not a file
+}
+
+TEST_F(CsvTest, AtomicWriteRoundTripsAndLeavesNoTempFile) {
+  CsvTable t;
+  t.columns = {"a", "b"};
+  t.rows = {{1.0, 2.0}, {3.0, 4.0}};
+  write_csv_atomic(path("atomic.csv"), t);
+  const CsvTable back = read_csv(path("atomic.csv"));
+  EXPECT_EQ(back.columns, t.columns);
+  EXPECT_EQ(back.rows, t.rows);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "atomic.csv");
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CsvTest, AtomicWriteReplacesExistingFile) {
+  CsvTable first;
+  first.columns = {"a"};
+  first.rows = {{1.0}};
+  write_csv_atomic(path("r.csv"), first);
+  CsvTable second;
+  second.columns = {"a"};
+  second.rows = {{2.0}, {3.0}};
+  write_csv_atomic(path("r.csv"), second);
+  EXPECT_EQ(read_csv(path("r.csv")).num_rows(), 2u);
 }
 
 TEST_F(CsvTest, HeaderWhitespaceTrimmed) {

@@ -1,0 +1,439 @@
+#include "dse/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+#include "dse/pareto.hpp"
+
+namespace adse::dse {
+namespace {
+
+// --- acquisition ------------------------------------------------------------
+
+TEST(Acquisition, EiPrefersUncertaintyAtEqualMean) {
+  // The satellite requirement: with equal means, EI must rank the
+  // high-uncertainty candidate above the zero-uncertainty one.
+  const double best = 100.0;
+  const ml::PredictionDistribution certain{100.0, 0.0};
+  const ml::PredictionDistribution uncertain{100.0, 10.0};
+  AcquisitionOptions ei;
+  EXPECT_GT(acquisition_score(ei, uncertain, best),
+            acquisition_score(ei, certain, best));
+}
+
+TEST(Acquisition, EiZeroStdDegradesToClampedGap) {
+  EXPECT_DOUBLE_EQ(expected_improvement(90.0, 0.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(110.0, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(95.0, 0.0, 100.0, 2.0), 3.0);
+}
+
+TEST(Acquisition, EiIsPositiveAndMonotoneInStd) {
+  // Even a candidate predicted worse than the incumbent retains some EI
+  // under uncertainty, and more spread means more of it.
+  const double ei_small = expected_improvement(105.0, 1.0, 100.0);
+  const double ei_large = expected_improvement(105.0, 20.0, 100.0);
+  EXPECT_GT(ei_small, 0.0);
+  EXPECT_GT(ei_large, ei_small);
+}
+
+TEST(Acquisition, EiRejectsNegativeStd) {
+  EXPECT_THROW(expected_improvement(1.0, -0.1, 2.0), InvariantError);
+}
+
+TEST(Acquisition, LcbBalancesMeanAndSpread) {
+  AcquisitionOptions lcb;
+  lcb.kind = AcquisitionKind::kLowerConfidenceBound;
+  lcb.beta = 2.0;
+  // -(mean - beta*std): 90 certain scores -90; 100 with std 10 scores -80.
+  EXPECT_GT(acquisition_score(lcb, {100.0, 10.0}, 0.0),
+            acquisition_score(lcb, {90.0, 0.0}, 0.0));
+}
+
+TEST(Acquisition, GreedyIgnoresUncertainty) {
+  AcquisitionOptions greedy;
+  greedy.kind = AcquisitionKind::kGreedy;
+  EXPECT_DOUBLE_EQ(acquisition_score(greedy, {50.0, 100.0}, 0.0),
+                   acquisition_score(greedy, {50.0, 0.0}, 0.0));
+  EXPECT_GT(acquisition_score(greedy, {40.0, 0.0}, 0.0),
+            acquisition_score(greedy, {50.0, 0.0}, 0.0));
+}
+
+TEST(Acquisition, Names) {
+  EXPECT_EQ(acquisition_name(AcquisitionKind::kExpectedImprovement), "ei");
+  EXPECT_EQ(acquisition_name(AcquisitionKind::kLowerConfidenceBound), "lcb");
+  EXPECT_EQ(acquisition_name(AcquisitionKind::kGreedy), "greedy");
+}
+
+TEST(Acquisition, EntropyBoundsAndOrdering) {
+  // Uniform scores: maximal entropy ln(n). One dominant score: near zero.
+  const double uniform = acquisition_entropy({1.0, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(uniform, std::log(4.0), 1e-12);
+  const double peaked = acquisition_entropy({0.0, 0.0, 0.0, 100.0});
+  EXPECT_NEAR(peaked, 0.0, 1e-12);
+  const double mixed = acquisition_entropy({1.0, 2.0, 3.0, 100.0});
+  EXPECT_GT(uniform, mixed);
+  EXPECT_GT(mixed, peaked);
+  // All-equal-after-shift degenerates to the undecided maximum.
+  EXPECT_NEAR(acquisition_entropy({5.0, 5.0}), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acquisition_entropy({}), 0.0);
+}
+
+TEST(Acquisition, TopKSelectsHighestScores) {
+  const std::vector<double> scores{0.1, 5.0, 3.0, 5.0, 4.0};
+  const auto top = top_k_indices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // tie with index 3 broken by lower index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 4u);
+  EXPECT_EQ(top_k_indices(scores, 99).size(), scores.size());
+}
+
+// --- pareto -----------------------------------------------------------------
+
+TEST(Pareto, DominanceIsStrictSomewhere) {
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(dominates({2, 2}, {2, 2}));  // identical: no domination
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}));  // trade-off
+  EXPECT_THROW(dominates({1}, {1, 2}), InvariantError);
+}
+
+TEST(Pareto, FrontKeepsNonDominatedPoints) {
+  const std::vector<std::vector<double>> points{
+      {1, 5}, {2, 2}, {5, 1}, {3, 3}, {6, 6}};
+  // {3,3} is dominated by {2,2}; {6,6} by everything else.
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, DuplicatesAllSurvive) {
+  const std::vector<std::vector<double>> points{{1, 1}, {1, 1}, {2, 2}};
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1}));
+}
+
+// --- candidates -------------------------------------------------------------
+
+TEST(Candidates, SeenSetDeduplicates) {
+  const config::ParameterSpace space;
+  Rng rng(41);
+  SeenSet seen;
+  const config::CpuConfig c = space.sample(rng);
+  EXPECT_FALSE(seen.contains(c));
+  EXPECT_TRUE(seen.insert(c));
+  EXPECT_FALSE(seen.insert(c));
+  EXPECT_TRUE(seen.contains(c));
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(Candidates, PoolIsValidAndDeduplicated) {
+  const config::ParameterSpace space;
+  Rng rng(42);
+  SeenSet simulated;
+  std::vector<config::CpuConfig> incumbents;
+  for (int i = 0; i < 3; ++i) {
+    incumbents.push_back(space.sample(rng));
+    simulated.insert(incumbents.back());
+  }
+  CandidateOptions options;
+  options.uniform_draws = 50;
+  options.num_incumbents = 3;
+  options.mutants_per_incumbent = 10;
+  const auto pool = generate_candidates(space, options, incumbents, simulated,
+                                        rng);
+  EXPECT_GT(pool.size(), 40u);
+  SeenSet unique;
+  for (const auto& c : pool) {
+    EXPECT_TRUE(config::is_valid(c));
+    EXPECT_FALSE(simulated.contains(c));  // never re-propose a simulated point
+    EXPECT_TRUE(unique.insert(c));        // no duplicates within the pool
+  }
+}
+
+TEST(Candidates, RespectsPinnedVectorLength) {
+  const config::ParameterSpace space;
+  Rng rng(43);
+  config::SampleConstraints constraints;
+  constraints.fixed_vector_length = 512;
+  SeenSet simulated;
+  std::vector<config::CpuConfig> incumbents{space.sample(rng, constraints)};
+  CandidateOptions options;
+  options.uniform_draws = 30;
+  options.mutants_per_incumbent = 15;
+  const auto pool = generate_candidates(space, options, incumbents, simulated,
+                                        rng, constraints);
+  for (const auto& c : pool) EXPECT_EQ(c.core.vector_length_bits, 512);
+}
+
+// --- telemetry --------------------------------------------------------------
+
+Journal sample_journal() {
+  Journal journal;
+  for (int r = 0; r < 3; ++r) {
+    RoundRecord record;
+    record.round = r;
+    record.sims_total = 24 + 8 * r;
+    record.pool_size = 400 + r;
+    record.best_objective = 50000.0 - 1000.0 * r;
+    record.surrogate_oob_mae = 4000.0 / (r + 1);
+    record.acquisition_entropy = 5.0 - r;
+    record.round_seconds = 0.25 * (r + 1);
+    journal.rounds.push_back(record);
+  }
+  return journal;
+}
+
+TEST(Telemetry, TableRoundTrip) {
+  const Journal journal = sample_journal();
+  const Journal back = Journal::from_table(journal.to_table());
+  ASSERT_EQ(back.rounds.size(), journal.rounds.size());
+  for (std::size_t i = 0; i < journal.rounds.size(); ++i) {
+    EXPECT_EQ(back.rounds[i].round, journal.rounds[i].round);
+    EXPECT_EQ(back.rounds[i].sims_total, journal.rounds[i].sims_total);
+    EXPECT_EQ(back.rounds[i].pool_size, journal.rounds[i].pool_size);
+    EXPECT_DOUBLE_EQ(back.rounds[i].best_objective,
+                     journal.rounds[i].best_objective);
+    EXPECT_DOUBLE_EQ(back.rounds[i].surrogate_oob_mae,
+                     journal.rounds[i].surrogate_oob_mae);
+    EXPECT_DOUBLE_EQ(back.rounds[i].acquisition_entropy,
+                     journal.rounds[i].acquisition_entropy);
+    EXPECT_DOUBLE_EQ(back.rounds[i].round_seconds,
+                     journal.rounds[i].round_seconds);
+  }
+}
+
+TEST(Telemetry, FileRoundTripAndSchemaCheck) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_dse_journal";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "journal.csv").string();
+  const Journal journal = sample_journal();
+  write_journal(path, journal);
+  EXPECT_TRUE(file_exists(path));
+  const Journal back = load_journal(path);
+  EXPECT_EQ(back.rounds.size(), 3u);
+
+  CsvTable bad;
+  bad.columns = {"nope"};
+  bad.rows = {{1.0}};
+  EXPECT_THROW(Journal::from_table(bad), InvariantError);
+  EXPECT_THROW(load_journal((dir / "missing.csv").string()), InvariantError);
+  std::filesystem::remove_all(dir);
+}
+
+// --- search loop ------------------------------------------------------------
+
+SearchOptions smoke_options() {
+  SearchOptions options;
+  options.label = "smoke";
+  options.app = kernels::App::kStream;
+  options.max_simulations = 28;
+  options.initial_samples = 12;
+  options.batch_size = 8;
+  options.candidates.uniform_draws = 40;
+  options.candidates.mutants_per_incumbent = 8;
+  options.candidates.num_incumbents = 3;
+  options.forest.num_trees = 15;
+  options.seed = 5;
+  options.threads = 2;
+  options.persist = false;
+  return options;
+}
+
+TEST(Search, SpendsExactlyTheBudgetAndJournalsEveryRound) {
+  const SearchResult result = search(smoke_options());
+  EXPECT_EQ(result.evaluated.size(), 28u);
+  // 12 initial + ceil(16 / 8) guided rounds.
+  ASSERT_EQ(result.journal.rounds.size(), 3u);
+  EXPECT_EQ(result.journal.rounds.front().sims_total, 12);
+  EXPECT_EQ(result.journal.rounds.back().sims_total, 28);
+  for (const auto& r : result.journal.rounds) {
+    EXPECT_GT(r.best_objective, 0.0);
+    EXPECT_GE(r.round_seconds, 0.0);
+  }
+  // Guided rounds score a real pool and a fitted surrogate.
+  EXPECT_GT(result.journal.rounds.back().pool_size, 0);
+  EXPECT_GT(result.journal.rounds.back().surrogate_oob_mae, 0.0);
+  EXPECT_TRUE(result.journal_file.empty());  // persist was off
+}
+
+TEST(Search, BestIndexAndCurveAreConsistent) {
+  const SearchResult result = search(smoke_options());
+  const auto curve = result.best_so_far();
+  ASSERT_EQ(curve.size(), result.evaluated.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1]);  // monotone non-increasing
+  }
+  EXPECT_DOUBLE_EQ(curve.back(), result.best().objective_value);
+  EXPECT_EQ(result.sims_to_reach(result.best().objective_value),
+            result.best_index + 1);
+  EXPECT_EQ(result.sims_to_reach(0.0), result.evaluated.size() + 1);
+  // Journal's best matches the curve's.
+  EXPECT_DOUBLE_EQ(result.journal.rounds.back().best_objective, curve.back());
+}
+
+TEST(Search, DeterministicAcrossThreadCounts) {
+  SearchOptions one = smoke_options();
+  one.threads = 1;
+  SearchOptions four = smoke_options();
+  four.threads = 4;
+  const SearchResult a = search(one);
+  const SearchResult b = search(four);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.evaluated[i].objective_value,
+                     b.evaluated[i].objective_value);
+    EXPECT_EQ(config::feature_vector(a.evaluated[i].config),
+              config::feature_vector(b.evaluated[i].config));
+  }
+}
+
+TEST(Search, EveryEvaluatedConfigIsValidAndUnique) {
+  const SearchResult result = search(smoke_options());
+  SeenSet seen;
+  for (const auto& e : result.evaluated) {
+    EXPECT_TRUE(config::is_valid(e.config));
+    EXPECT_TRUE(seen.insert(e.config));  // budget never spent twice
+    EXPECT_DOUBLE_EQ(
+        e.objective_value,
+        e.cycles[static_cast<std::size_t>(kernels::App::kStream)]);
+  }
+}
+
+TEST(Search, MultiObjectiveModeKeepsPerAppCyclesAndPareto) {
+  SearchOptions options = smoke_options();
+  options.objective = Objective::kGeomeanAllApps;
+  options.max_simulations = 16;
+  options.initial_samples = 10;
+  options.batch_size = 6;
+  const SearchResult result = search(options);
+  EXPECT_EQ(result.evaluated.size(), 16u);
+  for (const auto& e : result.evaluated) {
+    for (double c : e.cycles) EXPECT_GT(c, 0.0);
+  }
+  const auto front =
+      result.pareto_between(kernels::App::kStream, kernels::App::kMiniBude);
+  EXPECT_GE(front.size(), 1u);
+  // The best-geomean point cannot be dominated in every pair... but it CAN
+  // be off a 2-app front; what must hold is that every front member is
+  // non-dominated, i.e. the front of the front is itself.
+  std::vector<std::vector<double>> front_points;
+  for (std::size_t idx : front) {
+    front_points.push_back(
+        {result.evaluated[idx]
+             .cycles[static_cast<std::size_t>(kernels::App::kStream)],
+         result.evaluated[idx]
+             .cycles[static_cast<std::size_t>(kernels::App::kMiniBude)]});
+  }
+  const auto refined = pareto_front(front_points);
+  EXPECT_EQ(refined.size(), front_points.size());
+}
+
+TEST(Search, SingleAppModeRejectsPareto) {
+  const SearchResult result = search(smoke_options());
+  EXPECT_THROW(
+      result.pareto_between(kernels::App::kStream, kernels::App::kMiniBude),
+      InvariantError);
+}
+
+TEST(Search, PersistWritesStateAndResumes) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_dse_state";
+  std::filesystem::remove_all(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  SearchOptions options = smoke_options();
+  options.label = "resume";
+  options.persist = true;
+  options.max_simulations = 20;
+  const SearchResult first = search(options);
+  EXPECT_TRUE(file_exists(evaluations_path("resume")));
+  EXPECT_TRUE(file_exists(journal_path("resume")));
+  EXPECT_EQ(first.journal_file, journal_path("resume"));
+  const Journal on_disk = load_journal(first.journal_file);
+  EXPECT_EQ(on_disk.rounds.size(), first.journal.rounds.size());
+
+  // A wider budget resumes from the persisted evaluations: the first 20
+  // evaluations are byte-identical, only the rest is new work.
+  options.max_simulations = 26;
+  const SearchResult second = search(options);
+  ASSERT_EQ(second.evaluated.size(), 26u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(config::feature_vector(second.evaluated[i].config),
+              config::feature_vector(first.evaluated[i].config));
+    EXPECT_DOUBLE_EQ(second.evaluated[i].objective_value,
+                     first.evaluated[i].objective_value);
+  }
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Search, CorruptStateIsDroppedWithFreshStart) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_dse_corrupt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  setenv("ADSE_CACHE_DIR", dir.string().c_str(), 1);
+
+  SearchOptions options = smoke_options();
+  options.label = "corrupt";
+  options.persist = true;
+  options.max_simulations = 14;
+  {
+    std::ofstream f(evaluations_path("corrupt"));
+    f << "not,a,dse,state\n1,2,3,4\n";
+  }
+  const SearchResult result = search(options);  // must not throw
+  EXPECT_EQ(result.evaluated.size(), 14u);
+
+  unsetenv("ADSE_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Search, RandomSearchSpendsSameBudget) {
+  SearchOptions options = smoke_options();
+  const SearchResult guided = search(options);
+  const SearchResult random = random_search(options);
+  EXPECT_EQ(random.evaluated.size(), guided.evaluated.size());
+  for (const auto& e : random.evaluated) {
+    EXPECT_TRUE(config::is_valid(e.config));
+    EXPECT_GT(e.objective_value, 0.0);
+  }
+  // Random rounds carry no surrogate telemetry.
+  for (const auto& r : random.journal.rounds) {
+    EXPECT_DOUBLE_EQ(r.surrogate_oob_mae, 0.0);
+    EXPECT_DOUBLE_EQ(r.acquisition_entropy, 0.0);
+  }
+}
+
+TEST(Search, RejectsDegenerateOptions) {
+  SearchOptions options = smoke_options();
+  options.max_simulations = 1;
+  EXPECT_THROW(search(options), InvariantError);
+  options = smoke_options();
+  options.batch_size = 0;
+  EXPECT_THROW(search(options), InvariantError);
+  options = smoke_options();
+  options.initial_samples = 1;
+  EXPECT_THROW(random_search(options), InvariantError);
+  options = smoke_options();
+  options.exploit_fraction = -0.1;
+  EXPECT_THROW(search(options), InvariantError);
+  options = smoke_options();
+  options.exploit_fraction = 1.5;
+  EXPECT_THROW(search(options), InvariantError);
+}
+
+TEST(Search, PureGreedyAndPureAcquisitionBatchesBothRun) {
+  SearchOptions greedy = smoke_options();
+  greedy.exploit_fraction = 1.0;
+  EXPECT_EQ(search(greedy).evaluated.size(),
+            static_cast<std::size_t>(greedy.max_simulations));
+  SearchOptions acquisition_only = smoke_options();
+  acquisition_only.exploit_fraction = 0.0;
+  EXPECT_EQ(search(acquisition_only).evaluated.size(),
+            static_cast<std::size_t>(acquisition_only.max_simulations));
+}
+
+}  // namespace
+}  // namespace adse::dse

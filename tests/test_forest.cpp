@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/require.hpp"
 #include "ml/importance.hpp"
 #include "ml/metrics.hpp"
@@ -120,6 +122,85 @@ TEST(Forest, PermutationImportanceOverloadWorks) {
   Rng rng(1);
   const auto result = permutation_importance(forest, d, rng);
   EXPECT_GT(result.percent[0], result.percent[2]);
+}
+
+TEST(Forest, PredictDistStdIsZeroForIdenticalTrees) {
+  // A constant target makes every bootstrap tree identical, so the ensemble
+  // spread must collapse to exactly zero.
+  Dataset d;
+  d.feature_names = {"x0", "x1"};
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    d.add_row({rng.uniform01(), rng.uniform01()}, 7.5);
+  }
+  ForestOptions opts;
+  opts.num_trees = 20;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  const auto dist = forest.predict_dist({0.3, 0.6});
+  EXPECT_DOUBLE_EQ(dist.mean, 7.5);
+  EXPECT_DOUBLE_EQ(dist.std, 0.0);
+}
+
+TEST(Forest, PredictDistStdIsZeroForSingleTree) {
+  const Dataset d = noisy_function(150, 13);
+  ForestOptions opts;
+  opts.num_trees = 1;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  EXPECT_DOUBLE_EQ(forest.predict_dist(d.x[0]).std, 0.0);
+}
+
+TEST(Forest, PredictDistStdPositiveUnderBootstrapVariance) {
+  const Dataset d = noisy_function(300, 14);
+  ForestOptions opts;
+  opts.num_trees = 30;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  // Noisy targets + bootstrap resampling must leave the trees disagreeing
+  // somewhere; probe the training rows themselves.
+  const auto dists = forest.predict_dist_all(d);
+  ASSERT_EQ(dists.size(), d.num_rows());
+  double max_std = 0.0;
+  for (const auto& dist : dists) {
+    EXPECT_GE(dist.std, 0.0);
+    max_std = std::max(max_std, dist.std);
+  }
+  EXPECT_GT(max_std, 0.0);
+}
+
+TEST(Forest, PredictDistMeanMatchesPredict) {
+  const Dataset d = noisy_function(200, 15);
+  ForestOptions opts;
+  opts.num_trees = 25;
+  RandomForestRegressor forest(opts);
+  forest.fit(d);
+  for (int i = 0; i < 20; ++i) {
+    const auto dist = forest.predict_dist(d.x[static_cast<std::size_t>(i)]);
+    EXPECT_NEAR(dist.mean, forest.predict(d.x[static_cast<std::size_t>(i)]),
+                1e-9);
+  }
+}
+
+TEST(Forest, PredictDistDeterministicForSeed) {
+  const Dataset d = noisy_function(200, 16);
+  ForestOptions opts;
+  opts.num_trees = 15;
+  opts.seed = 99;
+  RandomForestRegressor a(opts), b(opts);
+  a.fit(d);
+  b.fit(d);
+  for (const auto& row : d.x) {
+    const auto da = a.predict_dist(row);
+    const auto db = b.predict_dist(row);
+    EXPECT_DOUBLE_EQ(da.mean, db.mean);
+    EXPECT_DOUBLE_EQ(da.std, db.std);
+  }
+}
+
+TEST(Forest, PredictDistBeforeFitThrows) {
+  RandomForestRegressor forest;
+  EXPECT_THROW(forest.predict_dist({1, 2, 3}), InvariantError);
 }
 
 TEST(Forest, SingleTreeForestMatchesBaggedTree) {

@@ -143,6 +143,94 @@ TEST(ParameterSpace, SamplingIsRoughlyUniformOverVl) {
   }
 }
 
+TEST(ParamSpec, NeighborIsAnAdjacentMember) {
+  const ParameterSpace space;
+  Rng rng(21);
+  const auto& rob = space.spec(ParamId::kRobSize);
+  const auto values = rob.values();
+  for (int i = 0; i < 200; ++i) {
+    const double current = values[rng.index(values.size())];
+    const double moved = rob.neighbor(current, rng);
+    EXPECT_TRUE(rob.contains(moved));
+    EXPECT_NEAR(std::abs(moved - current), rob.step, 1e-9);
+  }
+}
+
+TEST(ParamSpec, NeighborHonoursRaisedMinimum) {
+  const ParameterSpace space;
+  Rng rng(22);
+  const auto& bw = space.spec(ParamId::kLoadBandwidth);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(bw.neighbor(256.0, rng, 256.0), 256.0);
+  }
+  // Below the raised bound there is no admissible neighbour pair; the
+  // smallest admissible value is returned.
+  EXPECT_DOUBLE_EQ(bw.neighbor(16.0, rng, 256.0), 256.0);
+}
+
+TEST(ParamSpec, NeighborOfRealParamStaysInRange) {
+  const ParameterSpace space;
+  Rng rng(23);
+  const auto& clock = space.spec(ParamId::kL1Clock);
+  double current = 1.0;  // range edge: jitter must clamp
+  for (int i = 0; i < 300; ++i) {
+    current = clock.neighbor(current, rng);
+    EXPECT_TRUE(clock.contains(current));
+  }
+}
+
+TEST(ParamSpec, RaiseToReturnsSmallestAdmissibleValue) {
+  const ParameterSpace space;
+  EXPECT_DOUBLE_EQ(space.spec(ParamId::kLoadBandwidth).raise_to(96.0), 128.0);
+  EXPECT_DOUBLE_EQ(space.spec(ParamId::kLoadBandwidth).raise_to(128.0), 128.0);
+  EXPECT_DOUBLE_EQ(space.spec(ParamId::kRamLatency).raise_to(10.0), 60.0);
+  EXPECT_THROW(space.spec(ParamId::kLoadBandwidth).raise_to(2048.0),
+               InvariantError);
+}
+
+// Property: every mutant of a valid configuration is valid (local search
+// must never propose an unsimulatable design).
+TEST(ParameterSpace, MutantsAreAlwaysValid) {
+  const ParameterSpace space;
+  Rng rng(31);
+  CpuConfig base = space.sample(rng);
+  for (int i = 0; i < 500; ++i) {
+    base = space.mutate(base, rng);  // chained: walks far from the seed
+    EXPECT_NO_THROW(validate(base)) << "mutation " << i;
+  }
+}
+
+TEST(ParameterSpace, MutantDiffersFromBase) {
+  const ParameterSpace space;
+  Rng rng(32);
+  for (int i = 0; i < 100; ++i) {
+    const CpuConfig base = space.sample(rng);
+    const CpuConfig mutant = space.mutate(base, rng);
+    EXPECT_NE(feature_vector(base), feature_vector(mutant));
+  }
+}
+
+TEST(ParameterSpace, MutatePreservesPinnedVectorLength) {
+  const ParameterSpace space;
+  Rng rng(33);
+  SampleConstraints constraints;
+  constraints.fixed_vector_length = 1024;
+  CpuConfig base = space.sample(rng, constraints);
+  for (int i = 0; i < 200; ++i) {
+    base = space.mutate(base, rng, 0.3, constraints);
+    EXPECT_EQ(base.core.vector_length_bits, 1024);
+    EXPECT_GE(base.core.load_bandwidth_bytes, 128);
+  }
+}
+
+TEST(ParameterSpace, MutateRejectsBadRate) {
+  const ParameterSpace space;
+  Rng rng(34);
+  const CpuConfig base = space.sample(rng);
+  EXPECT_THROW(space.mutate(base, rng, 0.0), InvariantError);
+  EXPECT_THROW(space.mutate(base, rng, 1.5), InvariantError);
+}
+
 // Parameterised property: each discrete spec's samples are members of its
 // own value list.
 class SpecSampleMembership : public ::testing::TestWithParam<int> {};
