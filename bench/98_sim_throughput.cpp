@@ -1,0 +1,168 @@
+/// \file 98_sim_throughput.cpp
+/// Simulator-throughput gate for the campaign/DSE hot loop. The paper's study
+/// needed 180,006 configurations × 4 apps, and the `adse::dse` search engine
+/// re-enters `sim::simulate` inside its optimisation loop — raw configs/sec
+/// is the direct ceiling on both campaign scale and guided-search budget.
+///
+/// This bench simulates a fixed, seed-derived configuration set (the same
+/// deterministic stream the main campaign draws) single-threaded, reports
+/// simulated kilo-cycles/sec, µops/sec and sims/sec per app plus overall
+/// configs/sec, and emits the numbers as `BENCH_98.json` so CI can record the
+/// throughput trend across commits. Cycle-count *correctness* is gated
+/// separately (and blockingly) by tests/test_golden_cycles; this bench only
+/// shape-checks that every simulation validates and throughput is measurable.
+///
+/// Knobs: ADSE_BENCH98_CONFIGS (default 64 configurations),
+///        ADSE_BENCH98_JSON   (output path, default "BENCH_98.json"),
+///        ADSE_SEED.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
+#include "config/param_space.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace adse;
+
+struct AppTotals {
+  std::uint64_t sims = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t uops = 0;
+  std::uint64_t cycles_entered = 0;
+  std::uint64_t cycles_skipped = 0;
+  double seconds = 0.0;
+
+  double kcycles_per_sec() const {
+    return seconds > 0 ? static_cast<double>(cycles) / seconds / 1e3 : 0.0;
+  }
+  double sims_per_sec() const {
+    return seconds > 0 ? static_cast<double>(sims) / seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int num_configs =
+      static_cast<int>(env_int("ADSE_BENCH98_CONFIGS", 64));
+  const std::uint64_t seed = campaign_seed();
+  const std::string json_path =
+      env_string("ADSE_BENCH98_JSON", "BENCH_98.json");
+
+  std::printf("== Simulator throughput (bench 98) ==\n");
+  std::printf("%d configurations x %d apps, seed %llu, single-threaded\n\n",
+              num_configs, kernels::kNumApps,
+              static_cast<unsigned long long>(seed));
+
+  // The exact per-index deterministic stream the main campaign uses, so the
+  // measured workload is the campaign workload.
+  const config::ParameterSpace space;
+  std::vector<config::CpuConfig> configs;
+  configs.reserve(static_cast<std::size_t>(num_configs));
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(num_configs); ++i) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1);
+    configs.push_back(space.sample(rng));
+  }
+
+  // Build every needed trace up front: trace generation is not simulator
+  // throughput.
+  campaign::TraceCache traces;
+  for (const auto& c : configs) {
+    for (kernels::App app : kernels::all_apps()) {
+      traces.get(app, c.core.vector_length_bits);
+    }
+  }
+
+  std::vector<AppTotals> totals(kernels::kNumApps);
+  Stopwatch wall;
+  for (const auto& c : configs) {
+    for (kernels::App app : kernels::all_apps()) {
+      AppTotals& t = totals[static_cast<std::size_t>(app)];
+      const isa::Program& trace = traces.get(app, c.core.vector_length_bits);
+      Stopwatch one;
+      const sim::RunResult result = sim::simulate(c, trace);
+      t.seconds += one.seconds();
+      t.sims++;
+      t.cycles += result.core.cycles;
+      t.uops += result.core.retired;
+      t.cycles_entered += result.core.cycles_entered;
+      t.cycles_skipped += result.core.cycles_skipped;
+    }
+  }
+  const double total_seconds = wall.seconds();
+
+  TextTable table({"app", "sims", "Mcycles", "kcycles/s", "Muops/s", "sims/s",
+                   "skipped %"});
+  std::uint64_t all_cycles = 0;
+  for (kernels::App app : kernels::all_apps()) {
+    const AppTotals& t = totals[static_cast<std::size_t>(app)];
+    all_cycles += t.cycles;
+    const double skipped_pct =
+        t.cycles > 0 ? 100.0 * static_cast<double>(t.cycles_skipped) /
+                           static_cast<double>(t.cycles)
+                     : 0.0;
+    table.add_row({kernels::app_name(app), std::to_string(t.sims),
+                   format_fixed(static_cast<double>(t.cycles) / 1e6, 2),
+                   format_fixed(t.kcycles_per_sec(), 0),
+                   format_fixed(static_cast<double>(t.uops) / t.seconds / 1e6, 2),
+                   format_fixed(t.sims_per_sec(), 1),
+                   format_fixed(skipped_pct, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double configs_per_sec =
+      total_seconds > 0 ? static_cast<double>(num_configs) / total_seconds : 0.0;
+  std::printf("total: %s simulated cycles in %.2fs -> %.2f configs/sec "
+              "(a config = all %d apps)\n\n",
+              format_grouped(static_cast<long long>(all_cycles)).c_str(),
+              total_seconds, configs_per_sec, kernels::kNumApps);
+
+  // JSON record for the CI throughput trend (uploaded as an artifact;
+  // intentionally non-blocking — machine speed varies across runners).
+  {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"98_sim_throughput\",\n"
+        << "  \"configs\": " << num_configs << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"total_seconds\": " << total_seconds << ",\n"
+        << "  \"configs_per_sec\": " << configs_per_sec << ",\n"
+        << "  \"apps\": [\n";
+    for (int a = 0; a < kernels::kNumApps; ++a) {
+      const AppTotals& t = totals[static_cast<std::size_t>(a)];
+      out << "    {\"app\": \"" << kernels::app_slug(static_cast<kernels::App>(a))
+          << "\", \"sims\": " << t.sims << ", \"cycles\": " << t.cycles
+          << ", \"uops\": " << t.uops << ", \"seconds\": " << t.seconds
+          << ", \"kcycles_per_sec\": " << t.kcycles_per_sec()
+          << ", \"sims_per_sec\": " << t.sims_per_sec()
+          << ", \"cycles_entered\": " << t.cycles_entered
+          << ", \"cycles_skipped\": " << t.cycles_skipped << "}"
+          << (a + 1 < kernels::kNumApps ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int failures = 0;
+  failures += bench::shape_check(configs_per_sec > 0.0,
+                                 "throughput is measurable (> 0 configs/sec)");
+  bool every_app_ran = true;
+  for (const AppTotals& t : totals) {
+    every_app_ran = every_app_ran &&
+                    t.sims == static_cast<std::uint64_t>(num_configs) &&
+                    t.cycles > 0;
+  }
+  failures += bench::shape_check(
+      every_app_ran, "every (config, app) pair simulated and validated");
+  return failures == 0 ? 0 : 1;
+}

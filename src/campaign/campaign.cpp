@@ -16,12 +16,16 @@ namespace adse::campaign {
 
 const isa::Program& TraceCache::get(kernels::App app, int vl) {
   const auto key = std::make_pair(static_cast<int>(app), vl);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, kernels::build_app(app, vl)).first;
+  Slot* slot;
+  {
+    // The map lock only covers slot lookup/creation (cheap); the expensive
+    // kernels::build_app runs outside it, gated per key by the once-latch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot = &cache_[key];
   }
-  return it->second;
+  std::call_once(slot->once,
+                 [&] { slot->program = kernels::build_app(app, vl); });
+  return slot->program;
 }
 
 std::size_t TraceCache::size() const {

@@ -27,6 +27,13 @@ namespace adse::campaign {
 /// (app, vector length); building one takes longer than some simulations, so
 /// every concurrent evaluator — the campaign runner and the DSE search loop —
 /// shares them across a run.
+///
+/// Builds happen *outside* the map lock behind a per-key once-latch: at
+/// campaign cold-start every worker thread asks for a handful of distinct
+/// (app, vl) keys at once, and holding one global mutex across
+/// `kernels::build_app` would serialise the whole pool. Only a first caller
+/// builds a given key; concurrent callers of the *same* key block on its
+/// latch, callers of different keys proceed in parallel.
 class TraceCache {
  public:
   /// Returns the trace for (app, vl), building it on first use. The returned
@@ -36,8 +43,15 @@ class TraceCache {
   std::size_t size() const;
 
  private:
+  /// One slot per key. std::map nodes are address-stable, so the slot (and
+  /// the program inside it) can be used after the map mutex is dropped.
+  struct Slot {
+    std::once_flag once;
+    isa::Program program;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::pair<int, int>, isa::Program> cache_;
+  std::map<std::pair<int, int>, Slot> cache_;
 };
 
 struct CampaignSpec {

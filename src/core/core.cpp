@@ -1,6 +1,7 @@
 #include "core/core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/require.hpp"
@@ -32,7 +33,13 @@ Core::Core(const config::CpuConfig& config, mem::MemoryHierarchy& hierarchy,
       std::max(16, 2 * std::max(config_.core.frontend_width,
                                 config_.backend.dispatch_width))));
   exec_buckets_.resize(kBucketCount);
-  issue_candidates_.reserve(rs_.size());
+  // Descending so dispatch pops ascending slot indices (cosmetic only: issue
+  // order is decided by seq, never by slot).
+  free_rs_.reserve(rs_.size());
+  for (std::uint32_t i = static_cast<std::uint32_t>(rs_.size()); i > 0; --i) {
+    free_rs_.push_back(i - 1);
+  }
+  ready_rs_.reserve(rs_.size());
 }
 
 bool Core::finished(const isa::Program& program) const {
@@ -40,12 +47,42 @@ bool Core::finished(const isa::Program& program) const {
          feq_count_ == 0;
 }
 
+void Core::insert_lsq_ready(std::vector<std::uint32_t>& list,
+                            const std::vector<LsqEntry>& queue,
+                            std::uint32_t slot) {
+  // Same backward insertion as insert_ready: AGU completions mostly arrive in
+  // ascending seq already, and the ready set is small.
+  const std::uint64_t seq = queue[slot].seq;
+  auto it = list.end();
+  while (it != list.begin() && queue[*(it - 1)].seq > seq) --it;
+  list.insert(it, slot);
+}
+
+void Core::insert_ready(std::uint32_t rs_index) {
+  // Entries usually become ready young-to-old within a cycle, so scan from
+  // the back; the list is tiny (bounded by the RS size).
+  const std::uint64_t seq = rs_[rs_index].seq;
+  auto it = ready_rs_.end();
+  while (it != ready_rs_.begin() && rs_[*(it - 1)].seq > seq) --it;
+  ready_rs_.insert(it, rs_index);
+}
+
+void Core::wake_consumers(isa::RegClass cls, std::int32_t phys) {
+  woken_.clear();
+  regs_.set_ready(cls, phys, woken_);
+  stats_.rs_wakeups += woken_.size();
+  for (std::uint32_t idx : woken_) {
+    RsEntry& e = rs_[idx];
+    if (--e.not_ready == 0) insert_ready(idx);
+  }
+}
+
 void Core::complete_rob_entry(std::uint32_t rob_slot) {
   RobEntry& e = rob_[rob_slot];
   ADSE_REQUIRE_MSG(e.state == RobState::kIssued, "completing unissued op");
   e.state = RobState::kCompleted;
   if (e.dest_cls != isa::RegClass::kNone) {
-    regs_.set_ready(e.dest_cls, e.dest_phys);
+    wake_consumers(e.dest_cls, e.dest_phys);
   }
   if (e.lsq_index >= 0) {
     LsqEntry& l = (e.op->group == isa::InstrGroup::kLoad)
@@ -84,26 +121,38 @@ void Core::stage_commit() {
     rob_count_--;
     committed++;
   }
-  if (committed > 0) activity_ = true;
+  if (committed > 0) {
+    activity_ = true;
+    stats_.stage_active_cycles[static_cast<int>(Stage::kCommit)]++;
+  }
 }
 
 void Core::stage_complete() {
   // ALU / AGU completions for this cycle.
-  auto& bucket = exec_buckets_[cycle_ % kBucketCount];
+  const std::uint32_t bucket_index =
+      static_cast<std::uint32_t>(cycle_ % kBucketCount);
+  auto& bucket = exec_buckets_[bucket_index];
+  const bool had_exec = !bucket.empty();
   for (const ExecDone& done : bucket) {
-    pending_exec_--;
     if (done.is_mem_agu) {
       RobEntry& e = rob_[done.rob_slot];
-      LsqEntry& l = (e.op->group == isa::InstrGroup::kLoad)
-                        ? lq_[static_cast<std::size_t>(e.lsq_index)]
-                        : sq_[static_cast<std::size_t>(e.lsq_index)];
+      const bool is_load = e.op->group == isa::InstrGroup::kLoad;
+      const auto slot = static_cast<std::uint32_t>(e.lsq_index);
+      LsqEntry& l = is_load ? lq_[slot] : sq_[slot];
       l.state = LsqState::kReadyToSend;
+      if (is_load) {
+        insert_lsq_ready(ready_lq_, lq_, slot);
+      } else {
+        insert_lsq_ready(ready_sq_, sq_, slot);
+        sq_unresolved_--;
+      }
       activity_ = true;
     } else {
       complete_rob_entry(done.rob_slot);
     }
   }
   bucket.clear();
+  exec_bucket_mask_ &= ~(1u << bucket_index);
 
   // Memory responses drain through the LSQ completion pipeline.
   int drained = 0;
@@ -113,9 +162,13 @@ void Core::stage_complete() {
     mem_done_.pop();
     drained++;
   }
+  if (had_exec || drained > 0) {
+    stats_.stage_active_cycles[static_cast<int>(Stage::kComplete)]++;
+  }
 }
 
 void Core::stage_mem_send() {
+  if (ready_lq_.empty() && ready_sq_.empty()) return;
   int requests = 0;
   int loads = 0;
   int stores = 0;
@@ -123,42 +176,38 @@ void Core::stage_mem_send() {
   int store_budget = config_.core.store_bandwidth_bytes;
   bool loads_blocked = false;   // in-order per queue
   bool stores_blocked = false;
+  bool progressed = false;
 
-  // Walk both queues in merged program order.
-  std::uint32_t li = 0, si = 0;
+  // Walk the ready lists in merged program order. Each list is the
+  // ready-to-send subset of its queue in ascending seq, so consuming from the
+  // fronts visits exactly the entries the old per-cycle queue scan found.
+  std::size_t li = 0, si = 0;  // consumed-prefix cursors
   while (requests < config_.core.mem_requests_per_cycle) {
-    LsqEntry* load = nullptr;
-    LsqEntry* store = nullptr;
-    for (; li < lq_count_; ++li) {
-      LsqEntry& e = lq_[(lq_head_ + li) % lq_.size()];
-      if (e.state == LsqState::kReadyToSend) {
-        load = &e;
-        break;
-      }
-    }
-    for (; si < sq_count_; ++si) {
-      LsqEntry& e = sq_[(sq_head_ + si) % sq_.size()];
-      if (e.state == LsqState::kReadyToSend) {
-        store = &e;
-        break;
-      }
-    }
-    if (loads_blocked) load = nullptr;
-    if (stores_blocked) store = nullptr;
+    LsqEntry* load = (!loads_blocked && li < ready_lq_.size())
+                         ? &lq_[ready_lq_[li]]
+                         : nullptr;
+    LsqEntry* store = (!stores_blocked && si < ready_sq_.size())
+                          ? &sq_[ready_sq_[si]]
+                          : nullptr;
     if (load == nullptr && store == nullptr) break;
 
     const bool pick_load =
         store == nullptr || (load != nullptr && load->seq < store->seq);
     if (pick_load) {
       // Store->load dependency: the youngest older overlapping store decides.
+      // The LQ entry carries it since dispatch; all that can have changed is
+      // the store committing away (taking every older overlap with it).
       LsqEntry* dep = nullptr;
-      for (std::uint32_t s = 0; s < sq_count_; ++s) {
-        LsqEntry& st = sq_[(sq_head_ + s) % sq_.size()];
-        if (!st.valid || st.seq >= load->seq) continue;
-        if (!ranges_overlap(load->addr, load->size, st.addr, st.size)) continue;
-        if (dep == nullptr || st.seq > dep->seq) dep = &st;
+      if (load->dep_slot >= 0) {
+        LsqEntry& st = sq_[static_cast<std::size_t>(load->dep_slot)];
+        if (st.valid && st.seq == load->dep_seq) {
+          dep = &st;
+        } else {
+          load->dep_slot = -1;  // departed; no re-walk will ever find one
+        }
       }
-      if (dep != nullptr && dep->state == LsqState::kWaitAgu) {
+      if (dep != nullptr && sq_unresolved_ > 0 &&
+          dep->state == LsqState::kWaitAgu) {
         // Data not produced yet; the load (and younger loads) wait.
         loads_blocked = true;
         continue;
@@ -172,6 +221,7 @@ void Core::stage_mem_send() {
             load->rob_slot});
         stats_.loads_forwarded++;
         activity_ = true;
+        progressed = true;
         li++;
         continue;  // forwarding does not consume a memory request slot
       }
@@ -190,6 +240,7 @@ void Core::stage_mem_send() {
       requests++;
       load_budget -= static_cast<int>(load->size);
       activity_ = true;
+      progressed = true;
       li++;
     } else {
       if (stores >= config_.core.mem_stores_per_cycle ||
@@ -207,55 +258,59 @@ void Core::stage_mem_send() {
       requests++;
       store_budget -= static_cast<int>(store->size);
       activity_ = true;
+      progressed = true;
       si++;
     }
     if (loads_blocked && stores_blocked) break;
+  }
+  if (li > 0) {
+    ready_lq_.erase(ready_lq_.begin(),
+                    ready_lq_.begin() + static_cast<std::ptrdiff_t>(li));
+  }
+  if (si > 0) {
+    ready_sq_.erase(ready_sq_.begin(),
+                    ready_sq_.begin() + static_cast<std::ptrdiff_t>(si));
   }
   if (requests >= config_.core.mem_requests_per_cycle) {
     // Did anything else want to go? If so, note the cap for event skipping.
     mem_send_capped_ = true;
   }
+  if (progressed) {
+    stats_.stage_active_cycles[static_cast<int>(Stage::kMemSend)]++;
+  }
 }
 
-bool Core::rs_sources_ready(const RsEntry& e) const {
-  for (int s = 0; s < 3; ++s) {
-    if (e.src_cls[s] == isa::RegClass::kNone) continue;
-    if (!regs_.ready(e.src_cls[s], e.src_phys[s])) return false;
-  }
-  return true;
+int Core::pick_port(std::uint64_t free_ports, isa::InstrGroup group) const {
+  const isa::PortLayout::GroupMasks& m = ports_.masks_for(group);
+  std::uint64_t avail = free_ports & m.primary;
+  if (avail == 0) avail = free_ports & m.fallback;
+  if (avail == 0) return -1;
+  return std::countr_zero(avail);
 }
 
 void Core::stage_issue() {
-  issue_candidates_.clear();
-  for (std::uint32_t i = 0; i < rs_.size(); ++i) {
-    if (rs_[i].valid && rs_sources_ready(rs_[i])) issue_candidates_.push_back(i);
-  }
-  if (issue_candidates_.empty()) return;
-  std::sort(issue_candidates_.begin(), issue_candidates_.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return rs_[a].seq < rs_[b].seq;
-            });
-
-  bool port_used[64] = {};
-  for (std::uint32_t idx : issue_candidates_) {
+  if (ready_rs_.empty()) return;
+  std::uint64_t free_ports = ports_.all_ports_mask();
+  int issued = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ready_rs_.size(); ++i) {
+    const std::uint32_t idx = ready_rs_[i];
     RsEntry& e = rs_[idx];
-    int port = -1;
-    for (std::uint8_t p : ports_.ports_for(e.group)) {
-      if (!port_used[p]) {
-        port = p;
-        break;
-      }
+    const int port = pick_port(free_ports, e.group);
+    if (port < 0) {
+      ready_rs_[kept++] = idx;
+      continue;
     }
-    if (port < 0) continue;
-    port_used[port] = true;
+    free_ports &= ~(1ULL << port);
 
     RobEntry& rob = rob_[e.rob_slot];
     rob.state = RobState::kIssued;
     const bool is_mem = rob.op->is_memory();
     const int latency = isa::execution_latency(e.group);
-    exec_buckets_[(cycle_ + static_cast<std::uint64_t>(latency)) % kBucketCount]
-        .push_back(ExecDone{e.rob_slot, is_mem});
-    pending_exec_++;
+    const std::uint32_t bucket_index = static_cast<std::uint32_t>(
+        (cycle_ + static_cast<std::uint64_t>(latency)) % kBucketCount);
+    exec_buckets_[bucket_index].push_back(ExecDone{e.rob_slot, is_mem});
+    exec_bucket_mask_ |= 1u << bucket_index;
 
     if (e.group == isa::InstrGroup::kBranch) {
       bool mispredicted = false;
@@ -279,7 +334,13 @@ void Core::stage_issue() {
 
     e.valid = false;
     rs_count_--;
+    free_rs_.push_back(idx);
+    issued++;
     activity_ = true;
+  }
+  ready_rs_.resize(kept);
+  if (issued > 0) {
+    stats_.stage_active_cycles[static_cast<int>(Stage::kIssue)]++;
   }
 }
 
@@ -332,35 +393,59 @@ void Core::stage_dispatch() {
       l.size = f.op->mem_size_bytes;
       l.rob_slot = rob_slot;
       l.seq = rob.seq;
+      l.dep_slot = -1;
+      l.dep_seq = 0;
       rob.lsq_index = static_cast<std::int32_t>(slot);
       if (is_load) {
+        // Resolve the store dependence once, here: every older store is
+        // already in the SQ (dispatch is in order) with its address known,
+        // and ascending queue order is ascending seq, so the last overlap
+        // found is the youngest.
+        for (std::uint32_t s = 0; s < sq_count_; ++s) {
+          const std::uint32_t sq_slot =
+              (sq_head_ + s) % static_cast<std::uint32_t>(sq_.size());
+          const LsqEntry& st = sq_[sq_slot];
+          if (!ranges_overlap(l.addr, l.size, st.addr, st.size)) continue;
+          l.dep_slot = static_cast<std::int32_t>(sq_slot);
+          l.dep_seq = st.seq;
+        }
         lq_count_++;
       } else {
+        sq_unresolved_++;
         sq_count_++;
       }
     }
 
-    // Reservation-station slot (first free entry).
-    for (std::uint32_t i = 0; i < rs_.size(); ++i) {
-      if (!rs_[i].valid) {
-        RsEntry& e = rs_[i];
-        e.valid = true;
-        e.rob_slot = rob_slot;
-        e.seq = rob.seq;
-        e.group = f.op->group;
-        for (int s = 0; s < 3; ++s) {
-          e.src_cls[s] = f.src_cls[s];
-          e.src_phys[s] = f.src_phys[s];
-        }
-        rs_count_++;
-        break;
+    // Reservation-station slot from the free list.
+    ADSE_REQUIRE_MSG(!free_rs_.empty(), "RS free list out of sync");
+    const std::uint32_t rs_slot = free_rs_.back();
+    free_rs_.pop_back();
+    RsEntry& e = rs_[rs_slot];
+    e.valid = true;
+    e.rob_slot = rob_slot;
+    e.seq = rob.seq;
+    e.group = f.op->group;
+    e.not_ready = 0;
+    for (int s = 0; s < 3; ++s) {
+      e.src_cls[s] = f.src_cls[s];
+      e.src_phys[s] = f.src_phys[s];
+      if (f.src_cls[s] == isa::RegClass::kNone) continue;
+      if (!regs_.ready(f.src_cls[s], f.src_phys[s])) {
+        regs_.add_waiter(f.src_cls[s], f.src_phys[s], rs_slot);
+        e.not_ready++;
       }
     }
+    rs_count_++;
+    // Newest seq of all RS entries: appending keeps the ready list sorted.
+    if (e.not_ready == 0) ready_rs_.push_back(rs_slot);
 
     feq_head_ = (feq_head_ + 1) % static_cast<std::uint32_t>(feq_.size());
     feq_count_--;
     dispatched++;
     activity_ = true;
+  }
+  if (dispatched > 0) {
+    stats_.stage_active_cycles[static_cast<int>(Stage::kDispatch)]++;
   }
 }
 
@@ -368,6 +453,7 @@ void Core::stage_frontend(const isa::Program& program) {
   if (cycle_ < frontend_flush_until_) return;
   int bytes = config_.core.fetch_block_bytes;
   int slots = config_.core.frontend_width;
+  int fetched = 0;
 
   while (slots > 0 && fetch_cursor_ < program.ops.size() &&
          feq_count_ < feq_.size()) {
@@ -417,22 +503,27 @@ void Core::stage_frontend(const isa::Program& program) {
     feq_count_++;
     fetch_cursor_++;
     slots--;
+    fetched++;
     activity_ = true;
+  }
+  if (fetched > 0) {
+    stats_.stage_active_cycles[static_cast<int>(Stage::kFrontend)]++;
   }
 }
 
 std::uint64_t Core::next_event_cycle() const {
   std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
   if (!mem_done_.empty()) next = std::min(next, mem_done_.top().ready);
-  if (pending_exec_ > 0) {
-    for (int d = 1; d < kBucketCount; ++d) {
-      if (!exec_buckets_[(cycle_ + static_cast<std::uint64_t>(d)) %
-                         kBucketCount]
-               .empty()) {
-        next = std::min(next, cycle_ + static_cast<std::uint64_t>(d));
-        break;
-      }
-    }
+  if (exec_bucket_mask_ != 0) {
+    // Rotate the occupancy mask so bit k corresponds to bucket
+    // (cycle_ + 1 + k) % kBucketCount: the next occupied bucket is then the
+    // lowest set bit. The current cycle's bucket was drained by
+    // stage_complete, so every set bit is a genuine future event.
+    const int base = static_cast<int>((cycle_ + 1) % kBucketCount);
+    const std::uint32_t rotated = std::rotr(exec_bucket_mask_, base);
+    next = std::min(next, cycle_ + 1 +
+                              static_cast<std::uint64_t>(
+                                  std::countr_zero(rotated)));
   }
   if (mem_send_capped_) next = std::min(next, cycle_ + 1);
   if (frontend_flush_until_ > cycle_) next = std::min(next, frontend_flush_until_);
@@ -447,6 +538,7 @@ CoreStats Core::run(const isa::Program& program, std::uint64_t max_cycles) {
     ADSE_REQUIRE_MSG(cycle_ < max_cycles,
                      "simulation exceeded " << max_cycles << " cycles ("
                                             << program.name << ")");
+    stats_.cycles_entered++;
     activity_ = false;
     mem_send_capped_ = false;
 
@@ -466,7 +558,9 @@ CoreStats Core::run(const isa::Program& program, std::uint64_t max_cycles) {
                            << cycle_ << " in '" << program.name << "' (rob="
                            << rob_count_ << ", rs=" << rs_count_
                            << ", feq=" << feq_count_ << ")");
-      cycle_ = std::max(cycle_ + 1, next);
+      const std::uint64_t target = std::max(cycle_ + 1, next);
+      stats_.cycles_skipped += target - (cycle_ + 1);
+      cycle_ = target;
     }
   }
 

@@ -27,6 +27,16 @@
 /// Branches are trace-driven (perfectly predicted); the hardware-proxy layer
 /// adds mispredict penalties. An event-skip fast-forwards idle cycles so
 /// memory-latency-bound regions simulate quickly without changing counts.
+///
+/// The hot loop is event-driven (see DESIGN.md "Event-driven core
+/// internals"): issue is wakeup-driven (RS entries count not-ready sources
+/// and are pushed onto a seq-ordered ready list by completing producers
+/// instead of being scanned and sorted every cycle), RS slots come from a
+/// free list, loads cache their youngest-older-overlapping-store dependence
+/// at dispatch, and execution completions live on an occupancy-masked event
+/// wheel so the idle-skip target is found in O(1). All of it is a pure
+/// scheduling-cost optimisation: cycle counts are bit-identical to the
+/// brute-force per-cycle model (tests/test_golden_cycles.cpp proves it).
 
 #include <cstdint>
 #include <queue>
@@ -89,6 +99,10 @@ class Core {
     isa::RegClass src_cls[3] = {isa::RegClass::kNone, isa::RegClass::kNone,
                                 isa::RegClass::kNone};
     std::int32_t src_phys[3] = {-1, -1, -1};
+    /// Source operands still pending (wakeup-driven issue). The entry sits on
+    /// one wakeup list per pending source; when the count hits zero it moves
+    /// to the seq-ordered ready list and is never polled again.
+    int not_ready = 0;
   };
 
   enum class LsqState : std::uint8_t {
@@ -105,6 +119,13 @@ class Core {
     std::uint32_t size = 0;
     std::uint32_t rob_slot = 0;
     std::uint64_t seq = 0;
+    /// Loads only: SQ slot/seq of the youngest older overlapping store,
+    /// resolved once at dispatch (addresses are known then and older stores
+    /// can only *leave* the SQ afterwards — in order, youngest-overlap last —
+    /// so the cache stays exact). -1 = no older overlapping store. Replaces
+    /// the per-cycle O(SQ) dependence walk in stage_mem_send.
+    std::int32_t dep_slot = -1;
+    std::uint64_t dep_seq = 0;
   };
 
   struct FrontendOp {
@@ -138,7 +159,17 @@ class Core {
   void stage_frontend(const isa::Program& program);
 
   void complete_rob_entry(std::uint32_t rob_slot);
-  bool rs_sources_ready(const RsEntry& e) const;
+  /// Delivers wakeups for a newly ready destination register: decrements each
+  /// waiting RS entry's pending-source count and readies those that hit zero.
+  void wake_consumers(isa::RegClass cls, std::int32_t phys);
+  /// Inserts an RS entry into the seq-ordered ready list.
+  void insert_ready(std::uint32_t rs_index);
+  /// Inserts an LSQ slot into a seq-ordered ready-to-send list.
+  static void insert_lsq_ready(std::vector<std::uint32_t>& list,
+                               const std::vector<LsqEntry>& queue,
+                               std::uint32_t slot);
+  /// Preferred free port for `group` given the free-port bit set, or -1.
+  int pick_port(std::uint64_t free_ports, isa::InstrGroup group) const;
   /// Returns true when all µops are fetched and the ROB is empty.
   bool finished(const isa::Program& program) const;
   /// Earliest future cycle at which anything can change (event skip).
@@ -165,31 +196,44 @@ class Core {
   std::uint32_t rob_head_ = 0;
   std::uint32_t rob_count_ = 0;
 
-  // Unified reservation station.
+  // Unified reservation station: free-list allocation (dispatch never scans
+  // for a slot) + wakeup-driven ready list (issue never scans the station).
   std::vector<RsEntry> rs_;
   int rs_count_ = 0;
+  std::vector<std::uint32_t> free_rs_;   ///< free slot stack
+  std::vector<std::uint32_t> ready_rs_;  ///< ready entries, ascending seq
+  std::vector<std::uint32_t> woken_;     ///< wakeup-delivery scratch
+
+  // Stores still waiting on AGU (fast no-dependence path in stage_mem_send).
+  int sq_unresolved_ = 0;
 
   // Load/store queues (ring buffers in program order).
   std::vector<LsqEntry> lq_;
   std::uint32_t lq_head_ = 0, lq_count_ = 0;
   std::vector<LsqEntry> sq_;
   std::uint32_t sq_head_ = 0, sq_count_ = 0;
+  // Slots currently in kReadyToSend, ascending seq (== queue order among the
+  // ready subset). An entry enters on AGU completion and leaves only by being
+  // sent or forwarded, never by commit (commit requires kDone), so these
+  // lists replace stage_mem_send's per-cycle O(LQ+SQ) state scans exactly.
+  std::vector<std::uint32_t> ready_lq_;
+  std::vector<std::uint32_t> ready_sq_;
 
   // Frontend queue (post-rename, pre-dispatch).
   std::vector<FrontendOp> feq_;
   std::uint32_t feq_head_ = 0, feq_count_ = 0;
 
-  // Execution completion buckets (latencies are small constants).
+  // Execution completion event wheel (latencies are small constants). Bit b
+  // of the occupancy mask is set iff bucket b is non-empty, so the next
+  // occupied bucket after cycle_ is one rotate + countr_zero away (O(1) idle
+  // skipping instead of sweeping the wheel modulo kBucketCount).
   static constexpr int kBucketCount = 32;
   std::vector<std::vector<ExecDone>> exec_buckets_;
-  int pending_exec_ = 0;
+  std::uint32_t exec_bucket_mask_ = 0;
 
   // Memory completion min-heap.
   std::priority_queue<MemDone, std::vector<MemDone>, std::greater<MemDone>>
       mem_done_;
-
-  // Scratch for oldest-first issue selection.
-  std::vector<std::uint32_t> issue_candidates_;
 
   CoreStats stats_;
 };

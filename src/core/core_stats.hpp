@@ -9,11 +9,37 @@
 
 namespace adse::core {
 
+/// Pipeline stages, for per-stage activity attribution (order matches the
+/// back-to-front processing order of a simulated cycle).
+enum class Stage : int {
+  kCommit = 0,
+  kComplete,
+  kMemSend,
+  kIssue,
+  kDispatch,
+  kFrontend,
+};
+
+inline constexpr int kNumStages = 6;
+
+/// Short stage name for reports ("commit", "complete", ...).
+const char* stage_name(Stage stage);
+
 struct CoreStats {
   std::uint64_t cycles = 0;
   std::uint64_t retired = 0;
   std::uint64_t retired_sve = 0;
   std::uint64_t retired_by_group[isa::kNumInstrGroups] = {};
+
+  // Event-skip observability: a run's `cycles` decompose exactly into cycles
+  // the main loop entered (and evaluated the stages) plus idle cycles the
+  // event wheel fast-forwarded over, so simulator speedups are attributable.
+  std::uint64_t cycles_entered = 0;  ///< main-loop iterations
+  std::uint64_t cycles_skipped = 0;  ///< idle cycles jumped by event skip
+  /// Entered cycles in which the given stage made progress (committed,
+  /// completed, sent, issued, dispatched or fetched at least one µop).
+  std::uint64_t stage_active_cycles[kNumStages] = {};
+  std::uint64_t rs_wakeups = 0;  ///< RS operands woken by completing producers
 
   // Frontend stall attribution (cycles where the stage could not advance at
   // least one µop for the given reason).
@@ -40,6 +66,24 @@ struct CoreStats {
                         : static_cast<double>(retired_sve) /
                               static_cast<double>(retired);
   }
+
+  double skipped_fraction() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(cycles_skipped) /
+                             static_cast<double>(cycles);
+  }
 };
+
+inline const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kCommit: return "commit";
+    case Stage::kComplete: return "complete";
+    case Stage::kMemSend: return "mem send";
+    case Stage::kIssue: return "issue";
+    case Stage::kDispatch: return "dispatch";
+    case Stage::kFrontend: return "frontend";
+  }
+  return "?";
+}
 
 }  // namespace adse::core

@@ -37,6 +37,7 @@ RegisterFiles::RegisterFiles(const config::CoreParams& params) {
     for (int a = 0; a < arch; ++a) f.map[static_cast<std::size_t>(a)] = a;
     f.free_.reserve(static_cast<std::size_t>(phys - arch));
     for (int p = phys - 1; p >= arch; --p) f.free_.push_back(p);
+    f.waiters_.resize(static_cast<std::size_t>(phys));
   }
 }
 
@@ -88,7 +89,28 @@ bool RegisterFiles::ready(isa::RegClass cls, std::int32_t phys) const {
 void RegisterFiles::set_ready(isa::RegClass cls, std::int32_t phys) {
   ClassFile& f = file(cls);
   ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  ADSE_REQUIRE_MSG(f.waiters_[static_cast<std::size_t>(phys)].empty(),
+                   "set_ready without waiter delivery (use the woken overload)");
   f.ready_[static_cast<std::size_t>(phys)] = 1;
+}
+
+void RegisterFiles::add_waiter(isa::RegClass cls, std::int32_t phys,
+                               std::uint32_t token) {
+  ClassFile& f = file(cls);
+  ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  ADSE_REQUIRE_MSG(f.ready_[static_cast<std::size_t>(phys)] == 0,
+                   "waiter registered on an already-ready register");
+  f.waiters_[static_cast<std::size_t>(phys)].push_back(token);
+}
+
+void RegisterFiles::set_ready(isa::RegClass cls, std::int32_t phys,
+                              std::vector<std::uint32_t>& woken) {
+  ClassFile& f = file(cls);
+  ADSE_REQUIRE(phys >= 0 && static_cast<std::size_t>(phys) < f.ready_.size());
+  f.ready_[static_cast<std::size_t>(phys)] = 1;
+  auto& waiters = f.waiters_[static_cast<std::size_t>(phys)];
+  woken.insert(woken.end(), waiters.begin(), waiters.end());
+  waiters.clear();
 }
 
 void RegisterFiles::release(isa::RegClass cls, std::int32_t phys) {

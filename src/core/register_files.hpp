@@ -41,6 +41,19 @@ class RegisterFiles {
   bool ready(isa::RegClass cls, std::int32_t phys) const;
   void set_ready(isa::RegClass cls, std::int32_t phys);
 
+  /// Registers an opaque consumer token (the core uses reservation-station
+  /// indices) to be delivered exactly once when `phys` becomes ready. `phys`
+  /// must currently be not-ready. This is the wakeup half of event-driven
+  /// issue: instead of every RS entry polling ready() every cycle, a
+  /// completing producer pushes its waiters.
+  void add_waiter(isa::RegClass cls, std::int32_t phys, std::uint32_t token);
+
+  /// Marks `phys` ready and appends all registered waiter tokens to `woken`
+  /// (the list is consumed). A register re-allocated later starts with an
+  /// empty waiter list again.
+  void set_ready(isa::RegClass cls, std::int32_t phys,
+                 std::vector<std::uint32_t>& woken);
+
   /// Returns a physical register to the free list (prev mapping at commit).
   void release(isa::RegClass cls, std::int32_t phys);
 
@@ -49,6 +62,8 @@ class RegisterFiles {
     std::vector<std::int32_t> map;     // arch -> phys
     std::vector<std::uint8_t> ready_;  // phys -> ready
     std::vector<std::int32_t> free_;   // free-list stack
+    /// phys -> consumer tokens waiting on it (empty for ready registers).
+    std::vector<std::vector<std::uint32_t>> waiters_;
   };
 
   const ClassFile& file(isa::RegClass cls) const;

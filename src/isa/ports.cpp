@@ -45,6 +45,41 @@ PortLayout::PortLayout(int ls_ports, int vec_ports, int pred_ports,
   for (int i = 0; i < vec_ports; ++i) vec_.push_back(next++);
   for (int i = 0; i < pred_ports; ++i) pred_.push_back(next++);
   for (int i = 0; i < mix_ports; ++i) mix_.push_back(next++);
+
+  // Precomputed bit masks: within a tier ascending port index is exactly the
+  // preference order the vectors encode, so mask selection via countr_zero
+  // reproduces the ordered scan.
+  std::uint64_t ls_mask = 0, vec_mask = 0, pred_mask = 0, mix_mask = 0;
+  for (std::uint8_t p : ls_) ls_mask |= 1ULL << p;
+  for (std::uint8_t p : vec_) vec_mask |= 1ULL << p;
+  for (std::uint8_t p : pred_) pred_mask |= 1ULL << p;
+  for (std::uint8_t p : mix_) mix_mask |= 1ULL << p;
+  all_mask_ = ls_mask | vec_mask | pred_mask | mix_mask;
+  for (int g = 0; g < kNumInstrGroups; ++g) {
+    GroupMasks& m = masks_[static_cast<std::size_t>(g)];
+    switch (static_cast<InstrGroup>(g)) {
+      case InstrGroup::kLoad:
+      case InstrGroup::kStore:
+        m.primary = ls_mask;
+        break;
+      case InstrGroup::kVec:
+        m.primary = vec_mask;
+        break;
+      case InstrGroup::kPred:
+        // Dedicated predicate ports first, then the shared vector pipes.
+        m.primary = pred_mask;
+        m.fallback = vec_mask;
+        break;
+      case InstrGroup::kInt:
+      case InstrGroup::kIntMul:
+      case InstrGroup::kFp:
+      case InstrGroup::kFpDiv:
+      case InstrGroup::kBranch:
+        m.primary = mix_mask;
+        break;
+    }
+  }
+
   // Predicate ops prefer dedicated ports, then share the vector pipes.
   for (std::uint8_t v : vec_) pred_.push_back(v);
 }

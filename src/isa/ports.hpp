@@ -6,6 +6,7 @@
 /// (three load/store, two NEON/SVE, one predicate-only, three mixed
 /// INT/FP/branch); we implement the enumeration (see DESIGN.md).
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -55,12 +56,31 @@ class PortLayout {
   /// Ports able to execute `group`, preferred first.
   std::span<const std::uint8_t> ports_for(InstrGroup group) const;
 
+  /// Bit-mask view of a group's ports for O(1) issue selection. Tiers encode
+  /// preference: all of `primary` is preferred over any of `fallback` (only
+  /// predicate ops have a fallback — the shared vector pipes), and within a
+  /// tier ascending bit order equals the preferred issue order, so
+  /// countr_zero(free & tier) picks exactly the port the ordered span scan
+  /// would pick.
+  struct GroupMasks {
+    std::uint64_t primary = 0;
+    std::uint64_t fallback = 0;
+  };
+  const GroupMasks& masks_for(InstrGroup group) const {
+    return masks_[static_cast<std::size_t>(group)];
+  }
+
+  /// Mask with one bit set per existing port (the "all ports free" state).
+  std::uint64_t all_ports_mask() const { return all_mask_; }
+
  private:
   int num_ports_ = 0;
   std::vector<std::uint8_t> ls_;
   std::vector<std::uint8_t> vec_;
   std::vector<std::uint8_t> pred_;  // dedicated pred ports + vec fallback
   std::vector<std::uint8_t> mix_;
+  std::array<GroupMasks, kNumInstrGroups> masks_{};
+  std::uint64_t all_mask_ = 0;
 };
 
 }  // namespace adse::isa

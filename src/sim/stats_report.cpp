@@ -38,6 +38,23 @@ std::string render_stats(const RunResult& result) {
   }
   os << "retirement mix:\n" << mix.render() << '\n';
 
+  TextTable scheduling({"event scheduling", "cycles"});
+  scheduling.add_row({"cycles entered", grouped(result.core.cycles_entered)});
+  scheduling.add_row(
+      {"idle cycles skipped", grouped(result.core.cycles_skipped)});
+  scheduling.add_row(
+      {"skipped %",
+       format_fixed(result.core.skipped_fraction() * 100.0, 2)});
+  for (int s = 0; s < core::kNumStages; ++s) {
+    scheduling.add_row(
+        {std::string(core::stage_name(static_cast<core::Stage>(s))) +
+             " active",
+         grouped(result.core.stage_active_cycles[s])});
+  }
+  scheduling.add_row({"RS wakeups", grouped(result.core.rs_wakeups)});
+  os << "event scheduling (speedup attribution):\n"
+     << scheduling.render() << '\n';
+
   TextTable stalls({"frontend stall source", "cycles"});
   stalls.add_row({"fetch block exhausted", grouped(result.core.stall_fetch_bytes)});
   const char* reg_names[] = {"GP rename regs", "FP/SVE rename regs",

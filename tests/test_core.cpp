@@ -301,6 +301,48 @@ TEST(Core, ImpossibleIpcNeverHappens) {
   EXPECT_LE(stats.ipc(), config::kDispatchWidth);
 }
 
+TEST(Core, EventSkipObservability) {
+  // Independent loads with long RAM latency: the core is idle between memory
+  // responses, so the event wheel must fast-forward a large share of cycles —
+  // and the accounting must decompose the run exactly.
+  KernelBuilder b("skippy");
+  for (int i = 0; i < 200; ++i) {
+    b.load(fp(i % 8), 0x100000 + static_cast<std::uint64_t>(i) * 4096, 8,
+           gp(1));
+  }
+  config::CpuConfig cfg = roomy();
+  cfg.mem.prefetch_distance = 0;
+  cfg.core.rob_size = 8;  // little overlap: plenty of pure waiting
+  const CoreStats stats = run(cfg, b.take());
+  EXPECT_EQ(stats.cycles_entered + stats.cycles_skipped, stats.cycles);
+  EXPECT_GT(stats.cycles_skipped, stats.cycles / 4);
+  // Stage attribution: every stage saw work, and no stage can have been
+  // active on more cycles than the loop entered.
+  for (int s = 0; s < kNumStages; ++s) {
+    EXPECT_GT(stats.stage_active_cycles[s], 0u) << stage_name(static_cast<Stage>(s));
+    EXPECT_LE(stats.stage_active_cycles[s], stats.cycles_entered)
+        << stage_name(static_cast<Stage>(s));
+  }
+}
+
+TEST(Core, WakeupsCountDependentOperands) {
+  // A pure serial chain wakes exactly one consumer operand per link; the
+  // first op (no sources) and the chain structure bound the count tightly.
+  const int n = 300;
+  const CoreStats stats = run(roomy(), serial_fp_chain(n));
+  EXPECT_GE(stats.rs_wakeups, static_cast<std::uint64_t>(n) - 1);
+  // Each link has one pending source; allow dispatch-time-ready slack only.
+  EXPECT_LE(stats.rs_wakeups, static_cast<std::uint64_t>(n) + 1);
+}
+
+TEST(Core, ComputeBoundSkipsLittle) {
+  // Back-to-back independent INTs keep every cycle busy: the event wheel
+  // must not skip actively advancing cycles.
+  const CoreStats stats = run(roomy(), independent_ints(2000));
+  EXPECT_EQ(stats.cycles_entered + stats.cycles_skipped, stats.cycles);
+  EXPECT_LT(stats.cycles_skipped, stats.cycles / 10);
+}
+
 TEST(Core, DeterministicAcrossRuns) {
   const auto program = kernels::build_app(kernels::App::kTeaLeaf, 128);
   const CoreStats a = run(config::thunderx2_baseline(), program);

@@ -91,6 +91,38 @@ TEST(RegisterFiles, OutOfRangeArchThrows) {
   EXPECT_THROW(rf.allocate(isa::RegClass::kCond, 1), InvariantError);
 }
 
+TEST(RegisterFiles, WaiterTokensDeliveredOnceOnSetReady) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  const auto alloc = rf.allocate(isa::RegClass::kFp, 2);
+  rf.add_waiter(isa::RegClass::kFp, alloc.phys, 7);
+  rf.add_waiter(isa::RegClass::kFp, alloc.phys, 9);
+  rf.add_waiter(isa::RegClass::kFp, alloc.phys, 9);  // dup source operand
+  std::vector<std::uint32_t> woken;
+  rf.set_ready(isa::RegClass::kFp, alloc.phys, woken);
+  EXPECT_EQ(woken, (std::vector<std::uint32_t>{7, 9, 9}));
+  EXPECT_TRUE(rf.ready(isa::RegClass::kFp, alloc.phys));
+  // The list is consumed: re-allocating the register starts clean.
+  woken.clear();
+  rf.release(isa::RegClass::kFp, alloc.prev);
+  rf.set_ready(isa::RegClass::kFp, alloc.phys, woken);
+  EXPECT_TRUE(woken.empty());
+}
+
+TEST(RegisterFiles, WaiterOnReadyRegisterThrows) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  // Initial mappings are ready; polling replaced by wakeups only for
+  // not-ready registers, so registering on a ready one is a logic error.
+  EXPECT_THROW(rf.add_waiter(isa::RegClass::kGp, 0, 1), InvariantError);
+}
+
+TEST(RegisterFiles, PlainSetReadyRejectsPendingWaiters) {
+  RegisterFiles rf(config::thunderx2_baseline().core);
+  const auto alloc = rf.allocate(isa::RegClass::kGp, 1);
+  rf.add_waiter(isa::RegClass::kGp, alloc.phys, 3);
+  // The waiter-less overload would silently drop the token.
+  EXPECT_THROW(rf.set_ready(isa::RegClass::kGp, alloc.phys), InvariantError);
+}
+
 TEST(RegisterFiles, ReleaseRecyclesRegisters) {
   RegisterFiles rf(params_with_gp(40));  // 8 rename regs
   // Sustained alloc/release cycles must never exhaust.

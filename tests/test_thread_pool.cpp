@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -76,6 +79,35 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(20, [&](std::size_t) { total++; });
   }
   EXPECT_EQ(total.load(), 100);
+}
+
+// Campaign stragglers: a slow (big-ROB, high-VL) config must not block a
+// stripe of other iterations behind it. With dynamic (atomic-counter)
+// chunking, one executor camping on index 0 leaves every other index to the
+// remaining executors; with static contiguous partitioning, the indices
+// striped to the stuck executor would never run and this test would hang.
+// Index 0 only returns once all other iterations are done, so the test
+// deadlocks (and times out) under any scheduling that isn't work-stealing.
+TEST(ThreadPool, DynamicChunkingDoesNotStragglerBlock) {
+  constexpr std::size_t kCount = 64;
+  ThreadPool pool(2);  // 2 workers + the participating caller
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t others_done = 0;
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    std::unique_lock<std::mutex> lock(m);
+    if (i == 0) {
+      const bool all_done = cv.wait_for(
+          lock, std::chrono::seconds(60),
+          [&] { return others_done == kCount - 1; });
+      EXPECT_TRUE(all_done) << "scheduler straggler-blocked " << kCount - 1
+                            << " iterations behind a slow one ("
+                            << others_done << " completed)";
+    } else {
+      others_done++;
+      cv.notify_all();
+    }
+  });
 }
 
 TEST(ThreadPool, RejectsZeroThreads) {
