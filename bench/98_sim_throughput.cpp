@@ -76,7 +76,7 @@ int main() {
 
   // Build every needed trace up front: trace generation is not simulator
   // throughput.
-  campaign::TraceCache traces;
+  eval::TraceCache traces;
   for (const auto& c : configs) {
     for (kernels::App app : kernels::all_apps()) {
       traces.get(app, c.core.vector_length_bits);

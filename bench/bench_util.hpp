@@ -1,26 +1,41 @@
 #pragma once
 /// \file bench_util.hpp
-/// Shared plumbing for the per-table/per-figure harness binaries: cached
-/// campaign loading and the "[shape-check]" reporting convention. Absolute
-/// cycle counts cannot match the paper's testbed, so every bench asserts the
-/// *shape* of its result (who wins, where the knee is, orderings) and prints
-/// PASS/FAIL lines that EXPERIMENTS.md records.
+/// Shared plumbing for the per-table/per-figure harness binaries: the
+/// process-wide evaluation service, cached campaign loading and the
+/// "[shape-check]" reporting convention. Absolute cycle counts cannot match
+/// the paper's testbed, so every bench asserts the *shape* of its result
+/// (who wins, where the knee is, orderings) and prints PASS/FAIL lines that
+/// EXPERIMENTS.md records.
 
 #include <cstdio>
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "eval/service.hpp"
+#include "sim/stats_report.hpp"
 
 namespace adse::bench {
 
+/// The shared evaluation service every bench dispatches through: env-default
+/// thread count (ADSE_THREADS), persistent result store under ADSE_CACHE_DIR
+/// — so re-running a bench reuses every simulation a previous run paid for.
+inline eval::EvalService& evaluator() { return eval::EvalService::shared(); }
+
 /// Loads (or builds + caches) the main campaign.
 inline campaign::CampaignResult main_campaign() {
-  return campaign::load_or_run(campaign::main_campaign_spec());
+  return campaign::load_or_run(campaign::main_campaign_spec(), evaluator());
 }
 
 /// Loads (or builds + caches) a VL-pinned campaign (Figs. 4/5).
 inline campaign::CampaignResult pinned_campaign(int vl) {
-  return campaign::load_or_run(campaign::constrained_campaign_spec(vl));
+  return campaign::load_or_run(campaign::constrained_campaign_spec(vl),
+                               evaluator());
+}
+
+/// Prints the service's cache decomposition (the "[eval] ..." line is the
+/// stable hook CI's cache-reuse smoke step greps).
+inline void report_eval_stats() {
+  std::printf("%s\n", sim::summarize_eval(evaluator().stats()).c_str());
 }
 
 /// Prints a shape-check verdict; returns 0/1 for exit-code accumulation.

@@ -17,6 +17,7 @@
 #include "common/env.hpp"
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
+#include "eval/service.hpp"
 
 int main(int argc, char** argv) {
   using namespace adse;
@@ -34,10 +35,12 @@ int main(int argc, char** argv) {
   spec.seed = argc > 3 ? static_cast<std::uint64_t>(parse_int(argv[3]))
                        : campaign_seed();
   if (argc > 4) spec.fixed_vector_length = static_cast<int>(parse_int(argv[4]));
-  spec.threads = static_cast<int>(campaign_threads());
+  // spec.threads stays 0: the shared eval service supplies the ADSE_THREADS
+  // default and serves repeated configurations from its result store.
 
   Stopwatch watch;
-  const auto result = campaign::run_campaign(spec);
+  const auto result =
+      campaign::run_campaign(spec, eval::EvalService::shared());
   write_csv(argv[1], result.table);
   std::printf("wrote %zu rows x %zu columns to %s in %.1fs\n",
               result.table.num_rows(), result.table.num_cols(), argv[1],

@@ -14,8 +14,8 @@
 #include "common/text_table.hpp"
 #include "config/baselines.hpp"
 #include "config/param_space.hpp"
+#include "eval/service.hpp"
 #include "kernels/workloads.hpp"
-#include "sim/simulation.hpp"
 
 namespace {
 
@@ -44,12 +44,22 @@ void sweep(config::ParamId id, const std::vector<double>& values) {
               config::param_name(id).c_str());
   TextTable table({config::param_name(id), "STREAM", "MiniBude", "TeaLeaf",
                    "MiniSweep"});
+
+  // One batch per sweep: every (value, app) point goes through the shared
+  // evaluation service, which parallelises the runs and memoises repeats.
+  const auto apps = kernels::all_apps();
+  std::vector<eval::EvalRequest> requests;
   for (double v : values) {
     const config::CpuConfig cpu = with_param(id, v);
-    std::vector<std::string> row{format_fixed(v, 0)};
-    for (kernels::App app : kernels::all_apps()) {
-      row.push_back(format_grouped(
-          static_cast<long long>(sim::simulate_app(cpu, app).cycles())));
+    for (kernels::App app : apps) requests.push_back({cpu, app});
+  }
+  const auto results = eval::EvalService::shared().evaluate(requests);
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::vector<std::string> row{format_fixed(values[i], 0)};
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      row.push_back(format_grouped(static_cast<long long>(
+          results[i * apps.size() + a].cycles())));
     }
     table.add_row(std::move(row));
   }

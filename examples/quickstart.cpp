@@ -8,13 +8,15 @@
 #include <cstdio>
 #include <string>
 
+#include <vector>
+
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
 #include "common/text_table.hpp"
 #include "config/baselines.hpp"
 #include "config/serialize.hpp"
+#include "eval/service.hpp"
 #include "kernels/workloads.hpp"
-#include "sim/simulation.hpp"
 #include "sim/stats_report.hpp"
 
 int main(int argc, char** argv) {
@@ -39,29 +41,41 @@ int main(int argc, char** argv) {
   std::printf("Configuration (SimEng-style YAML):\n%s\n",
               config::to_yaml(cpu).c_str());
 
+  // All four apps go through the shared evaluation service as one batch —
+  // parallel across ADSE_THREADS workers, and served from the persistent
+  // result store on a re-run.
+  eval::EvalService& service = eval::EvalService::shared();
+  std::vector<eval::EvalRequest> requests;
+  for (kernels::App app : kernels::all_apps()) requests.push_back({cpu, app});
+  Stopwatch watch;
+  const auto results = service.evaluate(requests);
+  const double total_ms = watch.millis();
+
   TextTable table({"Application", "µops", "Cycles", "IPC", "SVE %", "L1 hit %",
-                   "RAM reqs", "Sim time"});
-  for (kernels::App app : kernels::all_apps()) {
-    Stopwatch watch;
-    const sim::RunResult result = sim::simulate_app(cpu, app);
+                   "RAM reqs"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sim::RunResult& result = results[i].run;
     table.add_row({
-        kernels::app_name(app),
+        kernels::app_name(requests[i].app),
         format_grouped(static_cast<long long>(result.core.retired)),
         format_grouped(static_cast<long long>(result.core.cycles)),
         format_fixed(result.core.ipc(), 2),
         format_fixed(result.core.sve_fraction() * 100.0, 1),
         format_fixed(result.mem.l1_hit_rate() * 100.0, 1),
         format_grouped(static_cast<long long>(result.mem.ram_requests)),
-        format_fixed(watch.millis(), 1) + " ms",
     });
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("evaluated %zu runs in %.1f ms on %zu threads\n\n",
+              results.size(), total_ms, service.threads());
 
   if (argc > 2 && std::string(argv[2]) == "--stats") {
-    // Full SimEng-style statistics block for the last app.
+    // Full SimEng-style statistics block for the last app, plus the eval
+    // service's cache decomposition.
     const sim::RunResult detail =
-        sim::simulate_app(cpu, kernels::App::kMiniSweep);
+        service.evaluate_one({cpu, kernels::App::kMiniSweep}).run;
     std::printf("%s\n", sim::render_stats(detail).c_str());
+    std::printf("%s\n", sim::render_eval_stats(service.stats()).c_str());
   }
   return 0;
 }

@@ -15,19 +15,23 @@
 #include "common/strings.hpp"
 #include "common/text_table.hpp"
 #include "config/baselines.hpp"
-#include "sim/simulation.hpp"
+#include "eval/service.hpp"
 
 int main() {
   using namespace adse;
+
+  // Everything below — the campaign rows and the spot-check simulations —
+  // flows through the shared evaluation service (ADSE_THREADS, persistent
+  // result store), so re-running the explorer is nearly simulation-free.
+  eval::EvalService& service = eval::EvalService::shared();
 
   campaign::CampaignSpec spec;
   spec.label = "explorer";
   spec.num_configs = static_cast<int>(env_int("ADSE_CONFIGS", 200));
   spec.seed = campaign_seed();
-  spec.threads = static_cast<int>(campaign_threads());
   std::printf("Collecting a %d-configuration campaign (T1/T2)...\n",
               spec.num_configs);
-  const auto data = campaign::load_or_run(spec);
+  const auto data = campaign::load_or_run(spec, service);
 
   std::printf("\nTraining one decision-tree surrogate per application "
               "(T3, §V-C)...\n\n");
@@ -54,7 +58,8 @@ int main() {
     const auto features = config::feature_vector(cfg);
     const double predicted =
         bude.model.predict({features.begin(), features.end()});
-    const auto truth = sim::simulate_app(cfg, kernels::App::kMiniBude).cycles();
+    const auto truth =
+        service.evaluate_one({cfg, kernels::App::kMiniBude}).cycles();
     table.add_row({name, format_grouped(static_cast<long long>(predicted)),
                    format_grouped(static_cast<long long>(truth))});
   }

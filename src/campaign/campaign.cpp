@@ -2,36 +2,15 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <map>
 #include <mutex>
 
 #include "common/env.hpp"
 #include "common/require.hpp"
 #include "common/stopwatch.hpp"
-#include "common/thread_pool.hpp"
 #include "config/param_space.hpp"
-#include "sim/simulation.hpp"
+#include "eval/service.hpp"
 
 namespace adse::campaign {
-
-const isa::Program& TraceCache::get(kernels::App app, int vl) {
-  const auto key = std::make_pair(static_cast<int>(app), vl);
-  Slot* slot;
-  {
-    // The map lock only covers slot lookup/creation (cheap); the expensive
-    // kernels::build_app runs outside it, gated per key by the once-latch.
-    std::lock_guard<std::mutex> lock(mutex_);
-    slot = &cache_[key];
-  }
-  std::call_once(slot->once,
-                 [&] { slot->program = kernels::build_app(app, vl); });
-  return slot->program;
-}
-
-std::size_t TraceCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
-}
 
 std::vector<std::string> feature_names() {
   std::vector<std::string> names;
@@ -46,7 +25,8 @@ std::string cycles_column(kernels::App app) {
   return kernels::app_slug(app) + "_cycles";
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec) {
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            eval::EvalService& service) {
   ADSE_REQUIRE(spec.num_configs >= 1);
   const config::ParameterSpace space;
   config::SampleConstraints constraints;
@@ -58,45 +38,74 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   for (kernels::App app : kernels::all_apps()) {
     table.columns.push_back(cycles_column(app));
   }
-  table.rows.resize(static_cast<std::size_t>(spec.num_configs));
 
-  TraceCache traces;
+  // Independent deterministic stream per configuration index: the campaign
+  // is reproducible regardless of how the service schedules the batch.
+  const auto n = static_cast<std::size_t>(spec.num_configs);
+  std::vector<eval::EvalRequest> requests;
+  requests.reserve(n * static_cast<std::size_t>(kernels::kNumApps));
+  table.rows.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1);
+    const config::CpuConfig cpu = space.sample(rng, constraints);
+    const auto features = config::feature_vector(cpu);
+    auto& row = table.rows[i];
+    row.assign(features.begin(), features.end());
+    row.reserve(features.size() + kernels::kNumApps);
+    for (kernels::App app : kernels::all_apps()) {
+      requests.push_back({cpu, app});
+    }
+  }
+
   Stopwatch watch;
-  ThreadPool pool(static_cast<std::size_t>(std::max(1, spec.threads)));
   std::mutex progress_mutex;
-  std::size_t done = 0;
+  eval::EvalService::Progress progress;
+  if (spec.verbose) {
+    progress = [&](std::size_t done, std::size_t total) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      if (done % 400 == 0 || done == total) {
+        std::fprintf(stderr, "[campaign %s] %zu/%zu runs (%.1fs elapsed)\n",
+                     spec.label.c_str(), done, total, watch.seconds());
+      }
+    };
+  }
+  const auto results = service.evaluate(requests, nullptr, progress);
 
-  pool.parallel_for(
-      static_cast<std::size_t>(spec.num_configs), [&](std::size_t i) {
-        // Independent deterministic stream per configuration index: the
-        // campaign is reproducible regardless of thread interleaving.
-        Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1);
-        const config::CpuConfig cpu = space.sample(rng, constraints);
-
-        const auto features = config::feature_vector(cpu);
-        std::vector<double> row(features.begin(), features.end());
-        row.reserve(features.size() + kernels::kNumApps);
-        for (kernels::App app : kernels::all_apps()) {
-          const isa::Program& trace =
-              traces.get(app, cpu.core.vector_length_bits);
-          const sim::RunResult result = sim::simulate(cpu, trace);
-          row.push_back(static_cast<double>(result.cycles()));
-        }
-        table.rows[i] = std::move(row);
-
-        if (spec.verbose) {
-          std::lock_guard<std::mutex> lock(progress_mutex);
-          if (++done % 100 == 0 ||
-              done == static_cast<std::size_t>(spec.num_configs)) {
-            std::fprintf(stderr,
-                         "[campaign %s] %zu/%d configs (%.1fs elapsed)\n",
-                         spec.label.c_str(), done, spec.num_configs,
-                         watch.seconds());
-          }
-        }
-      });
-
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int a = 0; a < kernels::kNumApps; ++a) {
+      table.rows[i].push_back(static_cast<double>(
+          results[i * static_cast<std::size_t>(kernels::kNumApps) +
+                  static_cast<std::size_t>(a)]
+              .cycles()));
+    }
+  }
   return result_from_table(std::move(table));
+}
+
+namespace {
+
+/// Applies the spec's thread policy: 0 = shared env-default service (memo +
+/// store reuse across runs), positive = private hermetic service.
+CampaignResult run_with_policy(
+    const CampaignSpec& spec,
+    CampaignResult (*run)(const CampaignSpec&, eval::EvalService&)) {
+  if (spec.threads > 0) {
+    eval::EvalOptions options;
+    options.threads = spec.threads;
+    eval::EvalService service(options);
+    return run(spec, service);
+  }
+  return run(spec, eval::EvalService::shared());
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  return run_with_policy(spec, &run_campaign);
+}
+
+CampaignResult load_or_run(const CampaignSpec& spec) {
+  return run_with_policy(spec, &load_or_run);
 }
 
 CampaignResult result_from_table(CsvTable table) {
@@ -139,7 +148,8 @@ std::string cache_path(const CampaignSpec& spec) {
   return cache_dir() + "/" + name + ".csv";
 }
 
-CampaignResult load_or_run(const CampaignSpec& spec) {
+CampaignResult load_or_run(const CampaignSpec& spec,
+                           eval::EvalService& service) {
   const std::string path = cache_path(spec);
   if (file_exists(path)) {
     if (spec.verbose) {
@@ -165,7 +175,7 @@ CampaignResult load_or_run(const CampaignSpec& spec) {
       std::filesystem::remove(path, ec);
     }
   }
-  CampaignResult result = run_campaign(spec);
+  CampaignResult result = run_campaign(spec, service);
   std::filesystem::create_directories(cache_dir());
   // Atomic publish: a killed run or a concurrently started bench binary must
   // never leave (or read) a truncated cache.
@@ -182,7 +192,6 @@ CampaignSpec main_campaign_spec() {
   spec.label = "main";
   spec.num_configs = static_cast<int>(main_campaign_configs());
   spec.seed = campaign_seed();
-  spec.threads = static_cast<int>(campaign_threads());
   return spec;
 }
 
@@ -192,7 +201,6 @@ CampaignSpec constrained_campaign_spec(int vector_length_bits) {
   spec.num_configs = static_cast<int>(constrained_campaign_configs());
   spec.seed = campaign_seed() + 1;
   spec.fixed_vector_length = vector_length_bits;
-  spec.threads = static_cast<int>(campaign_threads());
   return spec;
 }
 

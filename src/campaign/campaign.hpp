@@ -2,64 +2,38 @@
 /// \file campaign.hpp
 /// The data-collection workflow of the paper's artifact (T1→T3): generate a
 /// uniformly random CPU configuration, simulate every benchmark on it,
-/// collect one dataset row per (configuration, application). Runs are
-/// dispatched across a thread pool (the in-process analogue of the paper's
-/// 640-core XCI launcher) and the assembled dataset is cached as CSV so each
-/// bench binary pays the campaign cost at most once.
+/// collect one dataset row per (configuration, application). Sampling and
+/// row assembly live here; all simulation dispatch — thread pool, trace
+/// cache, result memo/store — is delegated to `eval::EvalService`, so a
+/// campaign is just a deterministic batch of `EvalRequest`s and re-running
+/// one against a warm service costs no fresh simulator invocations.
 
 #include <array>
-#include <map>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "config/cpu_config.hpp"
-#include "isa/program.hpp"
 #include "kernels/workloads.hpp"
 #include "ml/dataset.hpp"
 
+namespace adse::eval {
+class EvalService;
+}  // namespace adse::eval
+
 namespace adse::campaign {
-
-/// Thread-safe memo for workload traces. Traces depend only on
-/// (app, vector length); building one takes longer than some simulations, so
-/// every concurrent evaluator — the campaign runner and the DSE search loop —
-/// shares them across a run.
-///
-/// Builds happen *outside* the map lock behind a per-key once-latch: at
-/// campaign cold-start every worker thread asks for a handful of distinct
-/// (app, vl) keys at once, and holding one global mutex across
-/// `kernels::build_app` would serialise the whole pool. Only a first caller
-/// builds a given key; concurrent callers of the *same* key block on its
-/// latch, callers of different keys proceed in parallel.
-class TraceCache {
- public:
-  /// Returns the trace for (app, vl), building it on first use. The returned
-  /// reference stays valid for the cache's lifetime.
-  const isa::Program& get(kernels::App app, int vl);
-
-  std::size_t size() const;
-
- private:
-  /// One slot per key. std::map nodes are address-stable, so the slot (and
-  /// the program inside it) can be used after the map mutex is dropped.
-  struct Slot {
-    std::once_flag once;
-    isa::Program program;
-  };
-
-  mutable std::mutex mutex_;
-  std::map<std::pair<int, int>, Slot> cache_;
-};
 
 struct CampaignSpec {
   std::string label = "main";       ///< cache key component
   int num_configs = 1500;            ///< configurations to sample
   std::uint64_t seed = 42;          ///< sampling seed
   std::optional<int> fixed_vector_length;  ///< Fig. 4/5 pinned-VL campaigns
-  int threads = 1;                  ///< worker threads
+  /// Worker threads; 0 (the default) inherits the shared eval service and
+  /// therefore the one process-wide ADSE_THREADS read. A positive value
+  /// runs on a private, store-less service with exactly that many workers
+  /// (what hermetic tests want).
+  int threads = 0;
   bool verbose = true;              ///< progress lines on stderr
 };
 
@@ -80,11 +54,18 @@ std::vector<std::string> feature_names();
 /// CSV column carrying an app's simulated cycles ("stream_cycles", ...).
 std::string cycles_column(kernels::App app);
 
-/// Runs the campaign now (no cache).
+/// Runs the campaign now (no CSV cache) through `service`.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            eval::EvalService& service);
+
+/// Convenience: picks the service per the spec's thread policy (see
+/// CampaignSpec::threads).
 CampaignResult run_campaign(const CampaignSpec& spec);
 
 /// Loads the campaign from the CSV cache (ADSE_CACHE_DIR) or runs and caches
 /// it. The cache key includes label, size, seed and any VL pin.
+CampaignResult load_or_run(const CampaignSpec& spec,
+                           eval::EvalService& service);
 CampaignResult load_or_run(const CampaignSpec& spec);
 
 /// Path the spec caches to (for tooling/tests).

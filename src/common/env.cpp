@@ -34,7 +34,7 @@ std::int64_t constrained_campaign_configs() {
   return n;
 }
 
-std::int64_t campaign_threads() {
+std::int64_t num_threads() {
   const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
   const std::int64_t n = env_int("ADSE_THREADS", hw > 0 ? hw : 1);
   ADSE_REQUIRE_MSG(n >= 1, "ADSE_THREADS must be >= 1, got " << n);

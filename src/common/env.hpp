@@ -27,9 +27,10 @@ std::int64_t main_campaign_configs();
 /// (ADSE_CONFIGS_CONSTRAINED, default 500).
 std::int64_t constrained_campaign_configs();
 
-/// Worker threads for the campaign (ADSE_THREADS, default: hardware
-/// concurrency).
-std::int64_t campaign_threads();
+/// Worker threads for any parallel evaluation (ADSE_THREADS, default:
+/// hardware concurrency). Read once by `eval::EvalService::shared()` — entry
+/// points inherit it through the service rather than re-reading it.
+std::int64_t num_threads();
 
 /// Global campaign seed (ADSE_SEED, default 42).
 std::uint64_t campaign_seed();

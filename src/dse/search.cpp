@@ -11,10 +11,9 @@
 #include "common/require.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
-#include "common/thread_pool.hpp"
 #include "config/param_space.hpp"
 #include "dse/pareto.hpp"
-#include "sim/simulation.hpp"
+#include "eval/service.hpp"
 
 namespace adse::dse {
 
@@ -36,26 +35,34 @@ double objective_of(const SearchOptions& options,
   return cycles[static_cast<std::size_t>(options.app)];
 }
 
-/// Simulates a batch of configurations across the pool; results land in
-/// deterministic per-index slots regardless of thread interleaving.
+/// Simulates a batch of configurations through the eval service; results
+/// land in deterministic per-index slots regardless of scheduling — and any
+/// point a previous run (or a concurrent searcher) already simulated is
+/// served from the service's memo/store instead of re-simulated.
 std::vector<EvaluatedConfig> evaluate_batch(
     const SearchOptions& options, const std::vector<config::CpuConfig>& batch,
-    campaign::TraceCache& traces, ThreadPool& pool, std::size_t first_index) {
+    eval::EvalService& service, std::size_t first_index) {
   std::vector<EvaluatedConfig> out(batch.size());
   const auto apps = apps_for(options);
-  pool.parallel_for(batch.size(), [&](std::size_t i) {
+  std::vector<eval::EvalRequest> requests;
+  requests.reserve(batch.size() * apps.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     EvaluatedConfig& e = out[i];
     e.config = batch[i];
     e.config.name = "dse-" + std::to_string(first_index + i);
     for (kernels::App app : apps) {
-      const isa::Program& trace =
-          traces.get(app, e.config.core.vector_length_bits);
-      const sim::RunResult result = sim::simulate(e.config, trace);
-      e.cycles[static_cast<std::size_t>(app)] =
-          static_cast<double>(result.cycles());
+      requests.push_back({e.config, app});
+    }
+  }
+  const auto results = service.evaluate(requests);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EvaluatedConfig& e = out[i];
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      e.cycles[static_cast<std::size_t>(apps[a])] =
+          static_cast<double>(results[i * apps.size() + a].cycles());
     }
     e.objective_value = objective_of(options, e.cycles);
-  });
+  }
   return out;
 }
 
@@ -191,7 +198,7 @@ void check_options(const SearchOptions& options) {
                    "search budget must cover at least 2 simulations");
   ADSE_REQUIRE(options.initial_samples >= 2);
   ADSE_REQUIRE(options.batch_size >= 1);
-  ADSE_REQUIRE(options.threads >= 1);
+  ADSE_REQUIRE(options.threads >= 0);
   ADSE_REQUIRE_MSG(
       options.exploit_fraction >= 0.0 && options.exploit_fraction <= 1.0,
       "exploit_fraction must lie in [0, 1]");
@@ -296,14 +303,12 @@ std::string evaluations_path(const std::string& label) {
   return cache_dir() + "/dse_" + label + "_evals.csv";
 }
 
-SearchResult search(const SearchOptions& options) {
+SearchResult search(const SearchOptions& options, eval::EvalService& service) {
   check_options(options);
   const config::ParameterSpace space;
   config::SampleConstraints constraints;
   constraints.fixed_vector_length = options.fixed_vector_length;
 
-  campaign::TraceCache traces;
-  ThreadPool pool(static_cast<std::size_t>(options.threads));
   Rng rng(options.seed);
 
   SearchResult result;
@@ -331,8 +336,8 @@ SearchResult search(const SearchOptions& options) {
                  budget_left());
     const auto batch =
         distinct_uniform(space, want, simulated, rng, constraints);
-    auto evaluated = evaluate_batch(options, batch, traces, pool,
-                                    result.evaluated.size());
+    auto evaluated =
+        evaluate_batch(options, batch, service, result.evaluated.size());
     result.evaluated.insert(result.evaluated.end(),
                             std::make_move_iterator(evaluated.begin()),
                             std::make_move_iterator(evaluated.end()));
@@ -357,7 +362,7 @@ SearchResult search(const SearchOptions& options) {
 
     // Score: surrogate distribution → acquisition ranking.
     std::vector<ml::PredictionDistribution> dists(candidates.size());
-    pool.parallel_for(candidates.size(), [&](std::size_t i) {
+    service.parallel_for(candidates.size(), [&](std::size_t i) {
       const auto features = config::feature_vector(candidates[i]);
       dists[i] = surrogate.predict_dist({features.begin(), features.end()});
     });
@@ -378,8 +383,8 @@ SearchResult search(const SearchOptions& options) {
       simulated.insert(candidates[idx]);
       batch.push_back(candidates[idx]);
     }
-    auto evaluated = evaluate_batch(options, batch, traces, pool,
-                                    result.evaluated.size());
+    auto evaluated =
+        evaluate_batch(options, batch, service, result.evaluated.size());
     result.evaluated.insert(result.evaluated.end(),
                             std::make_move_iterator(evaluated.begin()),
                             std::make_move_iterator(evaluated.end()));
@@ -413,14 +418,13 @@ SearchResult search(const SearchOptions& options) {
   return result;
 }
 
-SearchResult random_search(const SearchOptions& options) {
+SearchResult random_search(const SearchOptions& options,
+                           eval::EvalService& service) {
   check_options(options);
   const config::ParameterSpace space;
   config::SampleConstraints constraints;
   constraints.fixed_vector_length = options.fixed_vector_length;
 
-  campaign::TraceCache traces;
-  ThreadPool pool(static_cast<std::size_t>(options.threads));
   Rng rng(options.seed);
 
   SearchResult result;
@@ -439,8 +443,8 @@ SearchResult random_search(const SearchOptions& options) {
                                   static_cast<int>(result.evaluated.size()));
     const auto batch =
         distinct_uniform(space, want, simulated, rng, constraints);
-    auto evaluated = evaluate_batch(options, batch, traces, pool,
-                                    result.evaluated.size());
+    auto evaluated =
+        evaluate_batch(options, batch, service, result.evaluated.size());
     result.evaluated.insert(result.evaluated.end(),
                             std::make_move_iterator(evaluated.begin()),
                             std::make_move_iterator(evaluated.end()));
@@ -461,6 +465,32 @@ SearchResult random_search(const SearchOptions& options) {
   }
   if (options.persist) result.journal_file = journal_path(options.label);
   return result;
+}
+
+namespace {
+
+/// Applies the options' thread policy: 0 = shared env-default service (memo
+/// + store reuse across runs), positive = private hermetic service.
+SearchResult run_with_policy(
+    const SearchOptions& options,
+    SearchResult (*run)(const SearchOptions&, eval::EvalService&)) {
+  if (options.threads > 0) {
+    eval::EvalOptions eval_options;
+    eval_options.threads = options.threads;
+    eval::EvalService service(eval_options);
+    return run(options, service);
+  }
+  return run(options, eval::EvalService::shared());
+}
+
+}  // namespace
+
+SearchResult search(const SearchOptions& options) {
+  return run_with_policy(options, &search);
+}
+
+SearchResult random_search(const SearchOptions& options) {
+  return run_with_policy(options, &random_search);
 }
 
 }  // namespace adse::dse

@@ -26,6 +26,10 @@
 #include "kernels/workloads.hpp"
 #include "ml/forest.hpp"
 
+namespace adse::eval {
+class EvalService;
+}  // namespace adse::eval
+
 namespace adse::dse {
 
 enum class Objective {
@@ -71,7 +75,10 @@ struct SearchOptions {
   std::optional<int> fixed_vector_length;
 
   std::uint64_t seed = 42;
-  int threads = 1;
+  /// Worker threads; 0 (the default) inherits the shared eval service (one
+  /// process-wide ADSE_THREADS read, cross-run result reuse via its store).
+  /// A positive value runs on a private, store-less service (hermetic tests).
+  int threads = 0;
   bool verbose = false;
   /// Publish journal + evaluation state CSVs after every round and resume
   /// from existing state on start. Off = fully in-memory (tests).
@@ -107,11 +114,18 @@ struct SearchResult {
   std::vector<std::size_t> pareto_between(kernels::App a, kernels::App b) const;
 };
 
-/// Runs the surrogate-guided search.
+/// Runs the surrogate-guided search; all simulations (and the parallel
+/// surrogate scoring) dispatch through `service`.
+SearchResult search(const SearchOptions& options, eval::EvalService& service);
+
+/// Convenience: picks the service per the options' thread policy (see
+/// SearchOptions::threads).
 SearchResult search(const SearchOptions& options);
 
 /// Pure uniform-random baseline at the same budget through the same
 /// evaluation machinery (equal-cost comparison for bench/97).
+SearchResult random_search(const SearchOptions& options,
+                           eval::EvalService& service);
 SearchResult random_search(const SearchOptions& options);
 
 /// State file the search resumes from ("<cache_dir>/dse_<label>_evals.csv").

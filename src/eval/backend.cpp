@@ -1,0 +1,81 @@
+#include "eval/backend.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace adse::eval {
+
+namespace {
+
+/// Every fidelity knob is folded into the backend key: two proxies with
+/// different options must never alias in the memo or the result store.
+std::string proxy_key(const sim::ProxyOptions& o) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "proxy/pf%d-%d/b%d/mshr%d/tlb%d/mi%d-%d-%d/fwd%d/dram%g-%g",
+                o.prefetch_boost_l2, o.prefetch_boost_ram, o.finite_banks,
+                o.mshr_entries, o.model_tlb ? 1 : 0, o.mispredict_interval,
+                o.mispredict_loop_exits ? 1 : 0, o.mispredict_penalty,
+                o.forward_latency, o.dram_latency_scale, o.dram_interval_scale);
+  return buf;
+}
+
+}  // namespace
+
+const std::string& SimulatorBackend::key() const {
+  static const std::string k = "sim";
+  return k;
+}
+
+sim::RunResult SimulatorBackend::run(const config::CpuConfig& config,
+                                     kernels::App /*app*/,
+                                     const isa::Program& trace) const {
+  return sim::simulate(config, trace);
+}
+
+HardwareProxyBackend::HardwareProxyBackend(sim::ProxyOptions options)
+    : options_(options), key_(proxy_key(options_)) {}
+
+const std::string& HardwareProxyBackend::key() const { return key_; }
+
+sim::RunResult HardwareProxyBackend::run(const config::CpuConfig& config,
+                                         kernels::App /*app*/,
+                                         const isa::Program& trace) const {
+  return sim::simulate_hardware(config, trace, options_);
+}
+
+SurrogateForestBackend::SurrogateForestBackend(
+    std::array<ml::RandomForestRegressor, kernels::kNumApps> forests,
+    bool log_space)
+    : forests_(std::move(forests)), log_space_(log_space) {
+  for (const auto& forest : forests_) {
+    ADSE_REQUIRE_MSG(forest.fitted(),
+                     "SurrogateForestBackend needs one fitted forest per app");
+  }
+}
+
+const std::string& SurrogateForestBackend::key() const {
+  static const std::string k = "forest";
+  return k;
+}
+
+sim::RunResult SurrogateForestBackend::run(const config::CpuConfig& config,
+                                           kernels::App app,
+                                           const isa::Program& /*trace*/) const {
+  const auto features = config::feature_vector(config);
+  double predicted = forests_[static_cast<std::size_t>(app)].predict(
+      {features.begin(), features.end()});
+  if (log_space_) predicted = std::exp(predicted);
+  sim::RunResult result;
+  result.app = kernels::app_slug(app);
+  result.config_name = config.name;
+  // Only the cycle estimate is meaningful for a surrogate query; at least
+  // one cycle so downstream geomean/log objectives stay well-defined.
+  result.core.cycles =
+      static_cast<std::uint64_t>(std::llround(std::max(predicted, 1.0)));
+  return result;
+}
+
+}  // namespace adse::eval

@@ -1,0 +1,38 @@
+#pragma once
+/// \file eval_stats.hpp
+/// Counter block for the evaluation service's cache decomposition. Kept
+/// dependency-free (plain integers only) so `sim::stats_report` can render
+/// it without the sim library depending on the eval library.
+
+#include <cstdint>
+
+namespace adse::eval {
+
+/// Where each served evaluation request came from, plus the trace-cache and
+/// result-store traffic behind them. Every request lands in exactly one of
+/// {backend_runs, memo_hits, store_hits, inflight_joins}, so the four
+/// buckets decompose `requests` the same way entered/skipped cycles
+/// decompose a core run.
+struct EvalStats {
+  std::uint64_t requests = 0;        ///< evaluation requests served
+  std::uint64_t backend_runs = 0;    ///< fresh backend (simulator) invocations
+  std::uint64_t memo_hits = 0;       ///< served from this process's memo
+  std::uint64_t store_hits = 0;      ///< served from the on-disk result store
+  std::uint64_t inflight_joins = 0;  ///< waited on an identical in-flight run
+
+  std::uint64_t store_loaded = 0;    ///< records loaded from disk at startup
+  std::uint64_t store_appended = 0;  ///< records persisted by this process
+
+  std::uint64_t trace_hits = 0;      ///< trace-cache hits
+  std::uint64_t trace_builds = 0;    ///< traces built (cache misses)
+
+  std::uint64_t cached() const { return memo_hits + store_hits + inflight_joins; }
+
+  double hit_fraction() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(cached()) / static_cast<double>(requests);
+  }
+};
+
+}  // namespace adse::eval

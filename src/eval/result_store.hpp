@@ -1,0 +1,75 @@
+#pragma once
+/// \file result_store.hpp
+/// Persistent, append-only binary store of evaluation results under the
+/// cache dir — the cross-run half of the eval service's memo. One record per
+/// (backend, app, configuration): the full counter blocks of a RunResult,
+/// keyed by the 30-feature vector. The format is deliberately dumb and
+/// crash-tolerant:
+///
+///   header : magic "ADSEVAL1", format version, feature count, record size
+///   records: fixed-size, each ending in an FNV-1a checksum of its bytes
+///
+/// A record is published with a single buffered append, so a killed writer
+/// can only ever leave a torn *tail*. The loader verifies each record's
+/// checksum and truncates the file back to the last intact record — a
+/// truncated store loses at most the torn record, never the run.
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "core/core_stats.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace adse::eval {
+
+/// One persisted evaluation: identity (backend tag + app + features) plus
+/// the simulator's full counter blocks.
+struct StoreRecord {
+  std::uint64_t backend_tag = 0;  ///< ResultStore::tag(backend.key())
+  std::int32_t app = 0;           ///< kernels::App as int
+  std::array<double, config::kNumParams> features{};
+  core::CoreStats core;
+  mem::MemStats mem;
+};
+
+class ResultStore {
+ public:
+  /// Opens (or creates) the store at `path`, loading every intact record and
+  /// truncating any torn tail. The parent directory is created on demand.
+  explicit ResultStore(std::string path, bool verbose = false);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Records found intact on disk at open time.
+  const std::vector<StoreRecord>& loaded() const { return loaded_; }
+
+  /// Records appended by this process since open.
+  std::size_t appended() const;
+
+  /// Persists one record (thread-safe; one buffered write + flush).
+  void append(const StoreRecord& record);
+
+  /// Stable 64-bit tag for a backend key string (FNV-1a).
+  static std::uint64_t tag(const std::string& backend_key);
+
+  /// On-disk size of one record, for tests and capacity estimates.
+  static std::size_t record_bytes();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;  ///< append handle, owned
+  std::vector<StoreRecord> loaded_;
+  mutable std::mutex mutex_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace adse::eval

@@ -1,0 +1,179 @@
+#include "eval/service.hpp"
+
+#include <cstring>
+
+#include "common/env.hpp"
+#include "common/require.hpp"
+
+namespace adse::eval {
+
+namespace {
+
+const isa::Program& empty_program() {
+  static const isa::Program program;
+  return program;
+}
+
+}  // namespace
+
+std::size_t EvalService::MemoKeyHash::operator()(const MemoKey& key) const {
+  // FNV-1a over the key's 8-byte slots; features are compared (and hashed)
+  // by exact bit pattern, which is sound because every feature vector comes
+  // out of the same discrete ParameterSpace generation path.
+  std::uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (v >> (8 * b)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(key.tag);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(key.app)));
+  for (double f : key.features) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    mix(bits);
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+EvalService::Shard& EvalService::shard_for(const MemoKey& key) {
+  return shards_[MemoKeyHash{}(key) % kNumShards];
+}
+
+EvalService::EvalService(EvalOptions options)
+    : options_(std::move(options)),
+      pool_(static_cast<std::size_t>(
+          options_.threads > 0 ? options_.threads
+                               : static_cast<int>(num_threads()))) {
+  if (!options_.store_path.empty()) {
+    store_ = std::make_unique<ResultStore>(options_.store_path,
+                                           options_.verbose);
+    // Pre-warm the memo with everything previous runs paid for. Duplicate
+    // records (two processes appending the same point) collapse on insert.
+    for (const StoreRecord& record : store_->loaded()) {
+      MemoKey key{record.backend_tag, record.app, record.features};
+      Shard& shard = shard_for(key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto [it, inserted] = shard.map.try_emplace(key);
+      if (!inserted) continue;
+      Slot& slot = it->second;
+      slot.core = record.core;
+      slot.mem = record.mem;
+      slot.from_store = true;
+      slot.done.store(true, std::memory_order_release);
+    }
+    if (options_.verbose && !store_->loaded().empty()) {
+      std::fprintf(stderr, "[eval] warm result store: %zu records from %s\n",
+                   store_->loaded().size(), store_->path().c_str());
+    }
+  }
+}
+
+EvalResult EvalService::evaluate_one(const EvalRequest& request,
+                                     const Backend* backend) {
+  const Backend& chosen = backend != nullptr ? *backend : simulator_;
+  MemoKey key{ResultStore::tag(chosen.key()),
+              static_cast<std::int32_t>(request.app),
+              config::feature_vector(request.config)};
+
+  Shard& shard = shard_for(key);
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    slot = &shard.map[key];
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  ResultSource source;
+  if (slot->done.load(std::memory_order_acquire)) {
+    source = slot->from_store ? ResultSource::kStore : ResultSource::kMemo;
+    (slot->from_store ? store_hits_ : memo_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bool ran = false;
+    std::call_once(slot->once, [&] {
+      const isa::Program& trace =
+          chosen.needs_trace()
+              ? traces_.get(request.app, request.config.core.vector_length_bits)
+              : empty_program();
+      const sim::RunResult fresh =
+          chosen.run(request.config, request.app, trace);
+      slot->core = fresh.core;
+      slot->mem = fresh.mem;
+      slot->done.store(true, std::memory_order_release);
+      ran = true;
+    });
+    if (ran) {
+      source = ResultSource::kBackend;
+      backend_runs_.fetch_add(1, std::memory_order_relaxed);
+      if (store_ != nullptr && chosen.persistable()) {
+        store_->append({key.tag, key.app, key.features, slot->core, slot->mem});
+      }
+    } else {
+      // The once-latch was won by a concurrent identical request; we waited
+      // on its completion instead of re-running the backend.
+      source = ResultSource::kInflight;
+      inflight_joins_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EvalResult out;
+  out.source = source;
+  // Labels are reconstructed from the request so cached and fresh results
+  // are indistinguishable (traces are named by app slug).
+  out.run.app = kernels::app_slug(request.app);
+  out.run.config_name = request.config.name;
+  out.run.core = slot->core;
+  out.run.mem = slot->mem;
+  return out;
+}
+
+std::vector<EvalResult> EvalService::evaluate(
+    std::span<const EvalRequest> requests, const Backend* backend,
+    const Progress& progress) {
+  std::vector<EvalResult> out(requests.size());
+  if (requests.empty()) return out;
+  std::atomic<std::size_t> done{0};
+  auto run_one = [&](std::size_t i) {
+    out[i] = evaluate_one(requests[i], backend);
+    if (progress) progress(done.fetch_add(1) + 1, requests.size());
+  };
+  if (requests.size() == 1) {
+    run_one(0);
+  } else {
+    pool_.parallel_for(requests.size(), run_one);
+  }
+  return out;
+}
+
+EvalStats EvalService::stats() const {
+  EvalStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.backend_runs = backend_runs_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.inflight_joins = inflight_joins_.load(std::memory_order_relaxed);
+  if (store_ != nullptr) {
+    s.store_loaded = store_->loaded().size();
+    s.store_appended = store_->appended();
+  }
+  s.trace_hits = traces_.hits();
+  s.trace_builds = traces_.builds();
+  return s;
+}
+
+EvalService& EvalService::shared() {
+  // The cache dir and thread count are read once, at first use; every entry
+  // point that goes through the shared service inherits them (this is the
+  // single ADSE_THREADS read the satellite fix asks for).
+  static EvalService service([] {
+    EvalOptions options;
+    options.store_path = cache_dir() + "/eval_store.bin";
+    options.verbose = true;
+    return options;
+  }());
+  return service;
+}
+
+}  // namespace adse::eval

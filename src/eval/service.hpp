@@ -1,0 +1,173 @@
+#pragma once
+/// \file service.hpp
+/// The unified evaluation service: every simulation in the repo —
+/// campaign rows, DSE batches, bench probes, example binaries — flows
+/// through one `EvalService::evaluate()` front-end. The service owns the
+/// machinery its callers used to duplicate (thread pool, trace cache) and
+/// adds the two layers none of them had:
+///
+///   * a sharded in-memory memo keyed by (backend, app, feature vector),
+///     with in-flight request deduplication — N concurrent requests for the
+///     same point cost exactly one backend run;
+///   * a persistent append-only result store under the cache dir, so a DSE
+///     run, a re-invoked bench binary, or tomorrow's campaign reuse every
+///     configuration any previous run already paid to simulate.
+///
+/// Backends are pluggable (`eval::Backend`): the cycle simulator is the
+/// default, the hardware proxy and a forest surrogate ride the same memo.
+/// This is the seam future scaling work (sharding across processes, async
+/// dispatch, remote workers) plugs into.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "config/cpu_config.hpp"
+#include "eval/backend.hpp"
+#include "eval/eval_stats.hpp"
+#include "eval/result_store.hpp"
+#include "eval/trace_cache.hpp"
+#include "kernels/workloads.hpp"
+#include "sim/simulation.hpp"
+
+namespace adse::eval {
+
+struct EvalOptions {
+  /// Worker threads; 0 inherits the process default (ADSE_THREADS, falling
+  /// back to hardware concurrency) — read once via adse::num_threads().
+  int threads = 0;
+  /// Path of the persistent result store; empty = in-memory memo only
+  /// (hermetic, what unit tests want).
+  std::string store_path;
+  bool verbose = false;
+};
+
+/// One evaluation to perform: a design point and the app to run on it.
+struct EvalRequest {
+  config::CpuConfig config;
+  kernels::App app = kernels::App::kStream;
+};
+
+/// Where a result came from (the memo decomposition EvalStats aggregates).
+enum class ResultSource {
+  kBackend,   ///< fresh backend run, paid in full
+  kMemo,      ///< in-memory memo hit (evaluated earlier this process)
+  kStore,     ///< served from the on-disk result store (a previous run paid)
+  kInflight,  ///< joined an identical concurrently-running request
+};
+
+struct EvalResult {
+  sim::RunResult run;
+  ResultSource source = ResultSource::kBackend;
+
+  std::uint64_t cycles() const { return run.cycles(); }
+};
+
+class EvalService {
+ public:
+  /// Batch progress callback; may be invoked concurrently from workers.
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+
+  explicit EvalService(EvalOptions options = {});
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// The built-in backends (callers may also bring their own).
+  const Backend& simulator() const { return simulator_; }
+  const Backend& hardware_proxy() const { return proxy_; }
+
+  /// Evaluates a batch across the pool; results come back in request order.
+  /// Duplicate requests — within the batch, across concurrent batches, or
+  /// against history — collapse onto a single backend run. `backend`
+  /// defaults to the cycle simulator.
+  std::vector<EvalResult> evaluate(std::span<const EvalRequest> requests,
+                                   const Backend* backend = nullptr,
+                                   const Progress& progress = {});
+
+  /// Single-request form; runs on the calling thread (no pool hop).
+  EvalResult evaluate_one(const EvalRequest& request,
+                          const Backend* backend = nullptr);
+
+  /// Shared trace cache (traces depend only on app and vector length).
+  const isa::Program& trace(kernels::App app, int vl) {
+    return traces_.get(app, vl);
+  }
+
+  /// Runs fn(i) for i in [0, count) on the service's pool — for callers
+  /// (the DSE scorer) with parallel work that is not an evaluation.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+    pool_.parallel_for(count, fn);
+  }
+
+  /// Snapshot of the cache/dedup counters.
+  EvalStats stats() const;
+
+  /// The process-wide service: env-default thread count, persistent store
+  /// under the cache dir. Entry points (benches, examples, campaign/DSE
+  /// convenience overloads) all share this instance — and therefore its
+  /// memo.
+  static EvalService& shared();
+
+ private:
+  struct MemoKey {
+    std::uint64_t tag;  ///< backend identity (ResultStore::tag of key())
+    std::int32_t app;
+    std::array<double, config::kNumParams> features;
+
+    bool operator==(const MemoKey& other) const {
+      return tag == other.tag && app == other.app &&
+             features == other.features;
+    }
+  };
+
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& key) const;
+  };
+
+  /// One memoised evaluation. unordered_map nodes are address-stable, so a
+  /// slot reference survives the shard lock being dropped; `done` flips
+  /// (release) only after the stat blocks are written, and readers check it
+  /// with acquire before touching them. Concurrent first-requests serialise
+  /// on the once-latch — exactly one runs the backend.
+  struct Slot {
+    std::once_flag once;
+    std::atomic<bool> done{false};
+    bool from_store = false;
+    core::CoreStats core;
+    mem::MemStats mem;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<MemoKey, Slot, MemoKeyHash> map;
+  };
+
+  static constexpr std::size_t kNumShards = 16;
+
+  Shard& shard_for(const MemoKey& key);
+
+  EvalOptions options_;
+  ThreadPool pool_;
+  TraceCache traces_;
+  SimulatorBackend simulator_;
+  HardwareProxyBackend proxy_;
+  std::unique_ptr<ResultStore> store_;
+  std::array<Shard, kNumShards> shards_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> backend_runs_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> inflight_joins_{0};
+};
+
+}  // namespace adse::eval

@@ -1,0 +1,31 @@
+#include "eval/trace_cache.hpp"
+
+namespace adse::eval {
+
+const isa::Program& TraceCache::get(kernels::App app, int vl) {
+  const auto key = std::make_pair(static_cast<int>(app), vl);
+  Slot* slot;
+  {
+    // The map lock only covers slot lookup/creation (cheap); the expensive
+    // kernels::build_app runs outside it, gated per key by the once-latch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot = &cache_[key];
+  }
+  if (slot->built.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->program;
+  }
+  std::call_once(slot->once, [&] {
+    slot->program = kernels::build_app(app, vl);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    slot->built.store(true, std::memory_order_release);
+  });
+  return slot->program;
+}
+
+std::size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace adse::eval

@@ -1,0 +1,55 @@
+#pragma once
+/// \file trace_cache.hpp
+/// Thread-safe memo for workload traces. Traces depend only on
+/// (app, vector length); building one takes longer than some simulations, so
+/// every concurrent evaluator — the campaign runner and the DSE search loop —
+/// shares them across a run. Owned by `eval::EvalService`; the class lives
+/// here so backends and benches can also hold one directly.
+///
+/// Builds happen *outside* the map lock behind a per-key once-latch: at
+/// campaign cold-start every worker thread asks for a handful of distinct
+/// (app, vl) keys at once, and holding one global mutex across
+/// `kernels::build_app` would serialise the whole pool. Only a first caller
+/// builds a given key; concurrent callers of the *same* key block on its
+/// latch, callers of different keys proceed in parallel.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "isa/program.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::eval {
+
+class TraceCache {
+ public:
+  /// Returns the trace for (app, vl), building it on first use. The returned
+  /// reference stays valid for the cache's lifetime.
+  const isa::Program& get(kernels::App app, int vl);
+
+  std::size_t size() const;
+
+  /// Calls that found the trace already built (no once-latch wait needed).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Traces actually built (== size(), counted as they happen).
+  std::uint64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One slot per key. std::map nodes are address-stable, so the slot (and
+  /// the program inside it) can be used after the map mutex is dropped.
+  struct Slot {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    isa::Program program;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, Slot> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> builds_{0};
+};
+
+}  // namespace adse::eval

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "eval/eval_stats.hpp"
 #include "sim/simulation.hpp"
 
 namespace adse::sim {
@@ -18,5 +19,16 @@ std::string render_stats(const RunResult& result);
 
 /// One-line summary ("stream on thunderx2: 80,718 cycles, IPC 1.10, ...").
 std::string summarize(const RunResult& result);
+
+/// Renders the evaluation service's cache decomposition — the service-level
+/// sibling of render_stats' event-skip table: how many requests were served
+/// fresh vs from the memo, the on-disk store, or an in-flight duplicate,
+/// plus trace-cache traffic. (`eval_stats.hpp` is dependency-free, so this
+/// stays in sim alongside the other statistics renderers.)
+std::string render_eval_stats(const eval::EvalStats& stats);
+
+/// Stable one-line form benches print and CI greps, e.g.
+/// "[eval] fresh simulator runs: 0 | memo hits: 12 | ...".
+std::string summarize_eval(const eval::EvalStats& stats);
 
 }  // namespace adse::sim

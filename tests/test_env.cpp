@@ -40,7 +40,7 @@ TEST_F(EnvTest, CampaignKnobDefaults) {
   EXPECT_EQ(main_campaign_configs(), 1500);
   EXPECT_EQ(constrained_campaign_configs(), 500);
   EXPECT_EQ(campaign_seed(), 42u);
-  EXPECT_GE(campaign_threads(), 1);
+  EXPECT_GE(num_threads(), 1);
   EXPECT_EQ(cache_dir(), "./adse_cache");
 }
 
@@ -57,7 +57,7 @@ TEST_F(EnvTest, TooSmallCampaignRejected) {
   setenv("ADSE_CONFIGS", "3", 1);
   EXPECT_THROW(main_campaign_configs(), InvariantError);
   setenv("ADSE_THREADS", "0", 1);
-  EXPECT_THROW(campaign_threads(), InvariantError);
+  EXPECT_THROW(num_threads(), InvariantError);
 }
 
 }  // namespace

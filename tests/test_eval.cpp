@@ -1,0 +1,379 @@
+#include "eval/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "config/baselines.hpp"
+#include "eval/result_store.hpp"
+#include "eval/trace_cache.hpp"
+#include "ml/forest.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats_report.hpp"
+
+namespace adse::eval {
+namespace {
+
+/// Deterministic fake backend that counts how many times it actually runs —
+/// the probe for the service's dedup guarantees.
+class CountingBackend final : public Backend {
+ public:
+  explicit CountingBackend(std::string key = "mock") : key_(std::move(key)) {}
+
+  const std::string& key() const override { return key_; }
+  bool needs_trace() const override { return false; }
+
+  sim::RunResult run(const config::CpuConfig& config, kernels::App app,
+                     const isa::Program&) const override {
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    // Widen the race window so concurrent identical requests really overlap.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sim::RunResult result;
+    result.core.cycles = 1000 + static_cast<std::uint64_t>(app) * 10 +
+                         static_cast<std::uint64_t>(config.core.rob_size);
+    result.core.retired = 17;
+    result.mem.l1_hits = 5;
+    return result;
+  }
+
+  std::uint64_t runs() const { return runs_.load(); }
+
+ private:
+  std::string key_;
+  mutable std::atomic<std::uint64_t> runs_{0};
+};
+
+EvalRequest stream_request() {
+  return {config::thunderx2_baseline(), kernels::App::kStream};
+}
+
+/// Hermetic service options: explicit thread count, optional on-disk store.
+EvalOptions hermetic(int threads, std::string store_path = {}) {
+  EvalOptions options;
+  options.threads = threads;
+  options.store_path = std::move(store_path);
+  return options;
+}
+
+TEST(EvalService, ConcurrentIdenticalRequestsRunBackendOnce) {
+  EvalService service(hermetic(4));
+  CountingBackend backend;
+  const EvalRequest request = stream_request();
+
+  constexpr int kThreads = 8;
+  std::vector<EvalResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          service.evaluate_one(request, &backend);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(backend.runs(), 1u);
+  for (const EvalResult& r : results) {
+    EXPECT_EQ(r.cycles(), results.front().cycles());
+    EXPECT_EQ(r.run.core.retired, 17u);
+    EXPECT_EQ(r.run.app, "stream");
+    EXPECT_EQ(r.run.config_name, request.config.name);
+  }
+  const EvalStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.backend_runs, 1u);
+  EXPECT_EQ(stats.memo_hits + stats.inflight_joins,
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(EvalService, BatchDuplicatesCollapse) {
+  EvalService service(hermetic(4));
+  CountingBackend backend;
+  const std::vector<EvalRequest> requests(12, stream_request());
+
+  const auto results = service.evaluate(requests, &backend);
+  ASSERT_EQ(results.size(), 12u);
+  EXPECT_EQ(backend.runs(), 1u);
+  for (const EvalResult& r : results) {
+    EXPECT_EQ(r.cycles(), results.front().cycles());
+  }
+}
+
+TEST(EvalService, MemoServesRepeats) {
+  EvalService service(hermetic(1));
+  CountingBackend backend;
+
+  const EvalResult first = service.evaluate_one(stream_request(), &backend);
+  const EvalResult again = service.evaluate_one(stream_request(), &backend);
+  EXPECT_EQ(first.source, ResultSource::kBackend);
+  EXPECT_EQ(again.source, ResultSource::kMemo);
+  EXPECT_EQ(again.cycles(), first.cycles());
+  EXPECT_EQ(backend.runs(), 1u);
+}
+
+TEST(EvalService, DistinctPointsAndBackendsDoNotAlias) {
+  EvalService service(hermetic(2));
+  CountingBackend a("mock-a");
+  CountingBackend b("mock-b");
+
+  EvalRequest stream = stream_request();
+  EvalRequest bude{config::thunderx2_baseline(), kernels::App::kMiniBude};
+  service.evaluate_one(stream, &a);
+  service.evaluate_one(bude, &a);   // different app: fresh run
+  service.evaluate_one(stream, &b); // different backend: fresh run
+  EXPECT_EQ(a.runs(), 2u);
+  EXPECT_EQ(b.runs(), 1u);
+  EXPECT_EQ(service.stats().backend_runs, 3u);
+}
+
+TEST(EvalService, MatchesDirectSimulation) {
+  EvalService service(hermetic(1));
+  const config::CpuConfig cpu = config::thunderx2_baseline();
+
+  const sim::RunResult direct = sim::simulate_app(cpu, kernels::App::kStream);
+  const EvalResult served = service.evaluate_one(stream_request());
+  EXPECT_EQ(served.run.core.cycles, direct.core.cycles);
+  EXPECT_EQ(served.run.core.retired, direct.core.retired);
+  EXPECT_EQ(served.run.mem.l1_hits, direct.mem.l1_hits);
+  EXPECT_EQ(served.run.mem.ram_requests, direct.mem.ram_requests);
+  EXPECT_EQ(served.run.app, direct.app);
+  EXPECT_EQ(served.run.config_name, direct.config_name);
+
+  // A memo hit reproduces the same result, labels included.
+  const EvalResult memo = service.evaluate_one(stream_request());
+  EXPECT_EQ(memo.source, ResultSource::kMemo);
+  EXPECT_EQ(memo.run.core.cycles, direct.core.cycles);
+  EXPECT_EQ(memo.run.app, direct.app);
+  EXPECT_EQ(memo.run.config_name, direct.config_name);
+}
+
+TEST(EvalService, StoreReuseAcrossServices) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_eval_reuse";
+  std::filesystem::remove_all(dir);
+  const std::string store = (dir / "eval_store.bin").string();
+
+  CountingBackend first_backend;
+  {
+    EvalService service(hermetic(1, store));
+    service.evaluate_one(stream_request(), &first_backend);
+    EXPECT_EQ(service.stats().store_appended, 1u);
+  }
+  EXPECT_EQ(first_backend.runs(), 1u);
+
+  // A new service on the same store serves the point from disk — zero
+  // backend runs, identical counters.
+  CountingBackend second_backend;
+  EvalService warm(hermetic(1, store));
+  const EvalResult served = warm.evaluate_one(stream_request(), &second_backend);
+  EXPECT_EQ(served.source, ResultSource::kStore);
+  EXPECT_EQ(second_backend.runs(), 0u);
+  EXPECT_EQ(served.run.core.retired, 17u);
+  EXPECT_EQ(served.run.mem.l1_hits, 5u);
+  const EvalStats stats = warm.stats();
+  EXPECT_EQ(stats.store_loaded, 1u);
+  EXPECT_EQ(stats.store_hits, 1u);
+  EXPECT_EQ(stats.backend_runs, 0u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EvalService, SurrogateBackendIsNotPersisted) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_eval_surr";
+  std::filesystem::remove_all(dir);
+  const std::string store = (dir / "eval_store.bin").string();
+
+  // Tiny forests fitted on two synthetic points, targets in log(cycles).
+  ml::Dataset data;
+  for (std::size_t f = 0; f < config::kNumParams; ++f) {
+    data.feature_names.push_back("f" + std::to_string(f));
+  }
+  const auto lo = config::feature_vector(config::thunderx2_baseline());
+  const auto hi = config::feature_vector(config::a64fx_like());
+  data.add_row({lo.begin(), lo.end()}, std::log(50000.0));
+  data.add_row({hi.begin(), hi.end()}, std::log(90000.0));
+
+  ml::ForestOptions options;
+  options.num_trees = 3;
+  std::array<ml::RandomForestRegressor, kernels::kNumApps> forests{
+      ml::RandomForestRegressor(options), ml::RandomForestRegressor(options),
+      ml::RandomForestRegressor(options), ml::RandomForestRegressor(options)};
+  for (auto& forest : forests) forest.fit(data);
+  const SurrogateForestBackend surrogate(std::move(forests), true);
+  EXPECT_FALSE(surrogate.persistable());
+  EXPECT_FALSE(surrogate.needs_trace());
+
+  EvalService service(hermetic(1, store));
+  const EvalResult predicted =
+      service.evaluate_one(stream_request(), &surrogate);
+  EXPECT_GE(predicted.cycles(), 1u);
+  EXPECT_EQ(predicted.source, ResultSource::kBackend);
+  // Model output must never reach the on-disk store.
+  EXPECT_EQ(service.stats().store_appended, 0u);
+  // But it is memoised like any other backend.
+  EXPECT_EQ(service.evaluate_one(stream_request(), &surrogate).source,
+            ResultSource::kMemo);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EvalService, ProxyKeyEncodesFidelityKnobs) {
+  const HardwareProxyBackend defaults;
+  sim::ProxyOptions tweaked;
+  tweaked.mshr_entries = 4;
+  const HardwareProxyBackend other(tweaked);
+  EXPECT_NE(defaults.key(), other.key());
+  EXPECT_EQ(defaults.key(), HardwareProxyBackend().key());
+}
+
+TEST(EvalService, SummaryLineReportsFreshRuns) {
+  EvalService service(hermetic(1));
+  CountingBackend backend;
+  service.evaluate_one(stream_request(), &backend);
+  service.evaluate_one(stream_request(), &backend);
+  const std::string line = sim::summarize_eval(service.stats());
+  EXPECT_NE(line.find("[eval] fresh simulator runs: 1"), std::string::npos);
+  EXPECT_NE(line.find("memo hits: 1"), std::string::npos);
+  const std::string table = sim::render_eval_stats(service.stats());
+  EXPECT_NE(table.find("requests served"), std::string::npos);
+}
+
+TEST(TraceCacheCounters, HitsAndBuilds) {
+  TraceCache cache;
+  const isa::Program& first = cache.get(kernels::App::kStream, 256);
+  const isa::Program& again = cache.get(kernels::App::kStream, 256);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.get(kernels::App::kStream, 512);
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest -j runs each case as its own process; the dir must be unique per
+    // case or concurrently scheduled cases would clobber each other's store.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("adse_eval_store_") + info->name());
+    std::filesystem::remove_all(dir_);
+    path_ = (dir_ / "store.bin").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static StoreRecord record(std::uint64_t seed) {
+    StoreRecord r;
+    r.backend_tag = ResultStore::tag("sim");
+    r.app = static_cast<std::int32_t>(seed % 4);
+    for (std::size_t f = 0; f < r.features.size(); ++f) {
+      r.features[f] = static_cast<double>(seed * 100 + f);
+    }
+    r.core.cycles = 1'000'000 + seed;
+    r.core.retired = 2'000 + seed;
+    r.core.rs_wakeups = 33 * seed;
+    r.mem.l1_hits = 7 * seed;
+    r.mem.ram_requests = seed;
+    return r;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(ResultStoreTest, RoundTrip) {
+  {
+    ResultStore store(path_);
+    EXPECT_TRUE(store.loaded().empty());
+    for (std::uint64_t i = 1; i <= 3; ++i) store.append(record(i));
+    EXPECT_EQ(store.appended(), 3u);
+  }
+  ResultStore reopened(path_);
+  ASSERT_EQ(reopened.loaded().size(), 3u);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const StoreRecord expected = record(i);
+    const StoreRecord& got = reopened.loaded()[i - 1];
+    EXPECT_EQ(got.backend_tag, expected.backend_tag);
+    EXPECT_EQ(got.app, expected.app);
+    EXPECT_EQ(got.features, expected.features);
+    EXPECT_EQ(got.core.cycles, expected.core.cycles);
+    EXPECT_EQ(got.core.retired, expected.core.retired);
+    EXPECT_EQ(got.core.rs_wakeups, expected.core.rs_wakeups);
+    EXPECT_EQ(got.mem.l1_hits, expected.mem.l1_hits);
+    EXPECT_EQ(got.mem.ram_requests, expected.mem.ram_requests);
+  }
+}
+
+TEST_F(ResultStoreTest, TornTailIsTruncatedNotFatal) {
+  {
+    ResultStore store(path_);
+    store.append(record(1));
+    store.append(record(2));
+  }
+  // A writer killed mid-append can only tear the tail record.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 5);
+
+  ResultStore recovered(path_);
+  ASSERT_EQ(recovered.loaded().size(), 1u);
+  EXPECT_EQ(recovered.loaded()[0].core.cycles, record(1).core.cycles);
+  // The torn bytes were truncated away; appending works again and the file
+  // is back to exactly header + two intact records.
+  recovered.append(record(3));
+  EXPECT_EQ(std::filesystem::file_size(path_), full);
+
+  ResultStore reopened(path_);
+  EXPECT_EQ(reopened.loaded().size(), 2u);
+  EXPECT_EQ(reopened.loaded()[1].core.cycles, record(3).core.cycles);
+}
+
+TEST_F(ResultStoreTest, CorruptRecordStopsLoadAtLastIntact) {
+  {
+    ResultStore store(path_);
+    store.append(record(1));
+    store.append(record(2));
+  }
+  // Flip one byte inside the *last* record's payload: its checksum fails and
+  // the loader keeps everything before it.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const long offset = -static_cast<long>(ResultStore::record_bytes() / 2);
+    std::fseek(f, offset, SEEK_END);
+    const int byte = std::fgetc(f);
+    std::fseek(f, offset, SEEK_END);
+    std::fputc(byte ^ 0xff, f);
+    std::fclose(f);
+  }
+  ResultStore recovered(path_);
+  EXPECT_EQ(recovered.loaded().size(), 1u);
+}
+
+TEST_F(ResultStoreTest, ForeignFileIsReplacedNotTrusted) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not an eval store", f);
+    std::fclose(f);
+  }
+  ResultStore store(path_);
+  EXPECT_TRUE(store.loaded().empty());
+  store.append(record(4));
+
+  ResultStore reopened(path_);
+  ASSERT_EQ(reopened.loaded().size(), 1u);
+  EXPECT_EQ(reopened.loaded()[0].core.cycles, record(4).core.cycles);
+}
+
+TEST_F(ResultStoreTest, TagIsStableAndDiscriminates) {
+  EXPECT_EQ(ResultStore::tag("sim"), ResultStore::tag("sim"));
+  EXPECT_NE(ResultStore::tag("sim"), ResultStore::tag("proxy"));
+}
+
+}  // namespace
+}  // namespace adse::eval
