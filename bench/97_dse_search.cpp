@@ -20,6 +20,7 @@
 #include "common/text_table.hpp"
 #include "config/serialize.hpp"
 #include "dse/search.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -151,5 +152,8 @@ int main() {
   // Cache decomposition: on a warm adse_cache/ the "[eval] fresh simulator
   // runs:" count drops to 0 (CI's cache-reuse smoke step asserts this).
   bench::report_eval_stats();
+  // Chrome trace of the whole run (eval.batch + dse.round spans) when
+  // ADSE_TRACE_FILE is set; the process-exit flush also covers early aborts.
+  obs::Tracer::global().flush();
   return failures;
 }

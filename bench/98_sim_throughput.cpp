@@ -13,7 +13,10 @@
 /// shape-checks that every simulation validates and throughput is measurable.
 ///
 /// Knobs: ADSE_BENCH98_CONFIGS (default 64 configurations),
-///        ADSE_BENCH98_JSON   (output path, default "BENCH_98.json"),
+///        ADSE_BENCH98_JSON    (output path, default "BENCH_98.json"),
+///        ADSE_BENCH98_METRICS (metrics-snapshot path, default
+///                              "BENCH_98_METRICS.json"),
+///        ADSE_TRACE_FILE      (optional Chrome trace of the run),
 ///        ADSE_SEED.
 
 #include <cstdio>
@@ -28,6 +31,8 @@
 #include "common/strings.hpp"
 #include "common/text_table.hpp"
 #include "config/param_space.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -152,6 +157,17 @@ int main() {
     out << "  ]\n}\n";
   }
   std::printf("wrote %s\n", json_path.c_str());
+
+  // Unified metrics snapshot (sim.simulations / sim.simulated_cycles live
+  // here) — CI uploads it next to BENCH_98.json and smoke-parses it.
+  const std::string metrics_path =
+      env_string("ADSE_BENCH98_METRICS", "BENCH_98_METRICS.json");
+  {
+    std::ofstream out(metrics_path);
+    out << obs::Registry::global().render_json();
+  }
+  std::printf("wrote %s\n", metrics_path.c_str());
+  obs::Tracer::global().flush();
 
   int failures = 0;
   failures += bench::shape_check(configs_per_sec > 0.0,

@@ -18,6 +18,8 @@
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
 #include "eval/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace adse;
@@ -45,5 +47,12 @@ int main(int argc, char** argv) {
   std::printf("wrote %zu rows x %zu columns to %s in %.1fs\n",
               result.table.num_rows(), result.table.num_cols(), argv[1],
               watch.seconds());
+
+  // Campaign health: the unified metrics snapshot (cache decomposition,
+  // pool gauges, batch latency) plus the Chrome trace if ADSE_TRACE_FILE
+  // is set.
+  eval::EvalService::shared().stats();
+  std::printf("\n%s", obs::Registry::global().render_text().c_str());
+  obs::Tracer::global().flush();
   return 0;
 }

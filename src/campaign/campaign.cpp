@@ -1,6 +1,5 @@
 #include "campaign/campaign.hpp"
 
-#include <cstdio>
 #include <filesystem>
 #include <mutex>
 
@@ -9,6 +8,9 @@
 #include "common/stopwatch.hpp"
 #include "config/param_space.hpp"
 #include "eval/service.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace adse::campaign {
 
@@ -64,12 +66,26 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     progress = [&](std::size_t done, std::size_t total) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       if (done % 400 == 0 || done == total) {
-        std::fprintf(stderr, "[campaign %s] %zu/%zu runs (%.1fs elapsed)\n",
-                     spec.label.c_str(), done, total, watch.seconds());
+        obs::logf(obs::LogLevel::kInfo,
+                  "[campaign %s] %zu/%zu runs (%.1fs elapsed)\n",
+                  spec.label.c_str(), done, total, watch.seconds());
       }
     };
   }
-  const auto results = service.evaluate(requests, nullptr, progress);
+  std::vector<eval::EvalResult> results;
+  {
+    obs::Span span("campaign.evaluate", "campaign");
+    span.set_detail(spec.label + ": " + std::to_string(requests.size()) +
+                    " runs");
+    results = service.evaluate(requests, nullptr, progress);
+  }
+  {
+    auto& registry = obs::Registry::global();
+    registry.counter("campaign.batches").add(1);
+    registry.counter("campaign.configs").add(n);
+    registry.counter("campaign.evaluations").add(requests.size());
+    registry.histogram("campaign.batch_seconds").observe(watch.seconds());
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     for (int a = 0; a < kernels::kNumApps; ++a) {
@@ -153,8 +169,8 @@ CampaignResult load_or_run(const CampaignSpec& spec,
   const std::string path = cache_path(spec);
   if (file_exists(path)) {
     if (spec.verbose) {
-      std::fprintf(stderr, "[campaign %s] loading cached dataset %s\n",
-                   spec.label.c_str(), path.c_str());
+      obs::logf(obs::LogLevel::kInfo, "[campaign %s] loading cached dataset %s\n",
+                spec.label.c_str(), path.c_str());
     }
     // A cache written by an older build (different schema) or a row count
     // that no longer matches the spec must not abort the run: warn, drop the
@@ -168,9 +184,9 @@ CampaignResult load_or_run(const CampaignSpec& spec,
                                               << spec.num_configs);
       return cached;
     } catch (const std::exception& e) {
-      std::fprintf(stderr,
-                   "[campaign %s] stale cache %s (%s); rebuilding\n",
-                   spec.label.c_str(), path.c_str(), e.what());
+      obs::logf(obs::LogLevel::kWarn,
+                "[campaign %s] stale cache %s (%s); rebuilding\n",
+                spec.label.c_str(), path.c_str(), e.what());
       std::error_code ec;
       std::filesystem::remove(path, ec);
     }
@@ -181,8 +197,8 @@ CampaignResult load_or_run(const CampaignSpec& spec,
   // never leave (or read) a truncated cache.
   write_csv_atomic(path, result.table);
   if (spec.verbose) {
-    std::fprintf(stderr, "[campaign %s] cached dataset at %s\n",
-                 spec.label.c_str(), path.c_str());
+    obs::logf(obs::LogLevel::kInfo, "[campaign %s] cached dataset at %s\n",
+              spec.label.c_str(), path.c_str());
   }
   return result;
 }

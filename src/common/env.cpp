@@ -45,4 +45,8 @@ std::uint64_t campaign_seed() {
   return static_cast<std::uint64_t>(env_int("ADSE_SEED", 42));
 }
 
+std::string log_level_name() { return env_string("ADSE_LOG_LEVEL", "info"); }
+
+std::string trace_file() { return env_string("ADSE_TRACE_FILE", ""); }
+
 }  // namespace adse

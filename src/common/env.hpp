@@ -35,4 +35,14 @@ std::int64_t num_threads();
 /// Global campaign seed (ADSE_SEED, default 42).
 std::uint64_t campaign_seed();
 
+/// Minimum log level for the obs leveled logger (ADSE_LOG_LEVEL: trace,
+/// debug, info, warn, error, off; default "info"). Parsed and cached once
+/// by `obs::log_level()` — nothing else should getenv it.
+std::string log_level_name();
+
+/// Output path for the Chrome-tracing span export (ADSE_TRACE_FILE; unset
+/// or empty disables tracing). Read once by `obs::Tracer::global()` —
+/// nothing else should getenv it.
+std::string trace_file();
+
 }  // namespace adse

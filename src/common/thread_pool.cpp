@@ -30,6 +30,7 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
     }
     task();
   }
@@ -68,6 +69,13 @@ void ThreadPool::parallel_for(std::size_t count,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t w = 0; w < workers_.size(); ++w) tasks_.push(drain);
+    const std::size_t depth =
+        queued_.fetch_add(workers_.size(), std::memory_order_relaxed) +
+        workers_.size();
+    std::size_t seen = max_queued_.load(std::memory_order_relaxed);
+    while (depth > seen && !max_queued_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
   }
   cv_.notify_all();
 

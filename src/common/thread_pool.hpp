@@ -29,6 +29,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks currently queued but not yet picked up by a worker — the obs
+  /// layer samples this into a gauge. Exact only between dispatches.
+  std::size_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime high-water mark of queue_depth().
+  std::size_t max_queue_depth() const {
+    return max_queued_.load(std::memory_order_relaxed);
+  }
+
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// iterations finish. If any iteration throws, the first exception is
   /// rethrown on the caller after all iterations complete or are abandoned.
@@ -42,6 +53,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> max_queued_{0};
 };
 
 }  // namespace adse

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <filesystem>
 #include <limits>
 
@@ -14,6 +13,9 @@
 #include "config/param_space.hpp"
 #include "dse/pareto.hpp"
 #include "eval/service.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace adse::dse {
 
@@ -179,13 +181,14 @@ std::vector<EvaluatedConfig> load_state(const SearchOptions& options) {
   try {
     auto evaluated = evaluations_from_table(read_csv(path));
     if (options.verbose) {
-      std::fprintf(stderr, "[dse %s] resuming from %zu evaluations in %s\n",
-                   options.label.c_str(), evaluated.size(), path.c_str());
+      obs::logf(obs::LogLevel::kInfo,
+                "[dse %s] resuming from %zu evaluations in %s\n",
+                options.label.c_str(), evaluated.size(), path.c_str());
     }
     return evaluated;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "[dse %s] stale state %s (%s); starting fresh\n",
-                 options.label.c_str(), path.c_str(), e.what());
+    obs::logf(obs::LogLevel::kWarn, "[dse %s] stale state %s (%s); starting fresh\n",
+              options.label.c_str(), path.c_str(), e.what());
     std::error_code ec;
     std::filesystem::remove(path, ec);
     std::filesystem::remove(journal_path(options.label), ec);
@@ -253,6 +256,19 @@ RoundRecord make_record(int round, const std::vector<EvaluatedConfig>& evaluated
   r.acquisition_entropy = entropy;
   r.round_seconds = seconds;
   return r;
+}
+
+/// Publishes one finished round into the process-wide registry: the journal
+/// stays the per-run record, the registry is the live cross-run surface a
+/// long campaign's health is read from.
+void publish_round(const RoundRecord& r, std::size_t batch_size) {
+  auto& registry = obs::Registry::global();
+  registry.counter("dse.rounds").add(1);
+  registry.counter("dse.simulations").add(batch_size);
+  registry.gauge("dse.best_objective").set(r.best_objective);
+  registry.gauge("dse.surrogate_oob_mae").set(r.surrogate_oob_mae);
+  registry.gauge("dse.acquisition_entropy").set(r.acquisition_entropy);
+  registry.histogram("dse.round_seconds").observe(r.round_seconds);
 }
 
 }  // namespace
@@ -330,6 +346,8 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
   // Round 0: the uniform batch that seeds the surrogate.
   if (budget_left() > 0 &&
       static_cast<int>(result.evaluated.size()) < options.initial_samples) {
+    obs::Span span("dse.round", "dse");
+    span.set_detail(options.label + " #0 (seed batch)");
     const int want =
         std::min(options.initial_samples -
                      static_cast<int>(result.evaluated.size()),
@@ -345,6 +363,7 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
     result.journal.rounds.push_back(
         make_record(round, result.evaluated, static_cast<int>(batch.size()),
                     surrogate.oob_mae(), 0.0, round_watch.seconds()));
+    publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
   } else if (result.evaluated.size() >= 2) {
     surrogate.fit(dataset_of(options, result.evaluated));
@@ -353,6 +372,8 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
   while (budget_left() > 0) {
     ++round;
     Stopwatch watch;
+    obs::Span span("dse.round", "dse");
+    span.set_detail(options.label + " #" + std::to_string(round));
     // Propose: global draws + local mutants of the incumbents.
     const auto incumbents =
         incumbents_of(result.evaluated, options.candidates.num_incumbents);
@@ -394,15 +415,16 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
     result.journal.rounds.push_back(
         make_record(round, result.evaluated, static_cast<int>(candidates.size()),
                     surrogate.oob_mae(), entropy, watch.seconds()));
+    publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
 
     if (options.verbose) {
-      std::fprintf(stderr,
-                   "[dse %s] round %d: %zu sims, best %.0f, oob %.0f, "
-                   "entropy %.2f\n",
-                   options.label.c_str(), round, result.evaluated.size(),
-                   result.journal.rounds.back().best_objective,
-                   surrogate.oob_mae(), entropy);
+      obs::logf(obs::LogLevel::kInfo,
+                "[dse %s] round %d: %zu sims, best %.0f, oob %.0f, "
+                "entropy %.2f\n",
+                options.label.c_str(), round, result.evaluated.size(),
+                result.journal.rounds.back().best_objective,
+                surrogate.oob_mae(), entropy);
     }
   }
 
@@ -438,6 +460,8 @@ SearchResult random_search(const SearchOptions& options,
   int round = 0;
   while (static_cast<int>(result.evaluated.size()) < options.max_simulations) {
     Stopwatch watch;
+    obs::Span span("dse.round", "dse");
+    span.set_detail(options.label + " #" + std::to_string(round));
     const int want = std::min(options.batch_size,
                               options.max_simulations -
                                   static_cast<int>(result.evaluated.size()));
@@ -451,6 +475,7 @@ SearchResult random_search(const SearchOptions& options,
     result.journal.rounds.push_back(
         make_record(round, result.evaluated, static_cast<int>(batch.size()),
                     0.0, 0.0, watch.seconds()));
+    publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
     ++round;
   }

@@ -1,8 +1,12 @@
 #pragma once
 /// \file eval_stats.hpp
-/// Counter block for the evaluation service's cache decomposition. Kept
-/// dependency-free (plain integers only) so `sim::stats_report` can render
-/// it without the sim library depending on the eval library.
+/// Point-in-time snapshot of the evaluation service's cache decomposition.
+/// Since the obs migration the *live* counters are `obs::Registry` metrics
+/// ("eval.requests", "eval.backend_runs", ...) owned by the service's
+/// registry — this header is a thin shim kept so `sim::stats_report` can
+/// render the block (and existing callers keep compiling) without the sim
+/// library depending on the eval or obs libraries. `EvalService::stats()`
+/// reads the registry into this plain-integer struct.
 
 #include <cstdint>
 

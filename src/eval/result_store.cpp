@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "isa/microop.hpp"
+#include "obs/log.hpp"
 
 namespace adse::eval {
 
@@ -180,15 +181,15 @@ ResultStore::ResultStore(std::string path, bool verbose)
       good += rec;
     }
     if (good < contents.size() && verbose) {
-      std::fprintf(stderr,
-                   "[eval-store] %s: dropping %zu torn trailing bytes "
-                   "(%zu records intact)\n",
-                   path_.c_str(), contents.size() - good, loaded_.size());
+      obs::logf(obs::LogLevel::kWarn,
+                "[eval-store] %s: dropping %zu torn trailing bytes "
+                "(%zu records intact)\n",
+                path_.c_str(), contents.size() - good, loaded_.size());
     }
   } else if (!contents.empty() && verbose) {
-    std::fprintf(stderr,
-                 "[eval-store] %s: stale or foreign header; rebuilding\n",
-                 path_.c_str());
+    obs::logf(obs::LogLevel::kWarn,
+              "[eval-store] %s: stale or foreign header; rebuilding\n",
+              path_.c_str());
   }
 
   // Publish phase: rewrite header + intact records if anything was torn or

@@ -4,6 +4,8 @@
 
 #include "common/env.hpp"
 #include "common/require.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace adse::eval {
 
@@ -43,9 +45,27 @@ EvalService::Shard& EvalService::shard_for(const MemoKey& key) {
 
 EvalService::EvalService(EvalOptions options)
     : options_(std::move(options)),
+      own_metrics_(options_.registry != nullptr
+                       ? nullptr
+                       : std::make_unique<obs::Registry>()),
+      metrics_(options_.registry != nullptr ? options_.registry
+                                            : own_metrics_.get()),
+      requests_(&metrics_->counter("eval.requests")),
+      backend_runs_(&metrics_->counter("eval.backend_runs")),
+      memo_hits_(&metrics_->counter("eval.memo_hits")),
+      store_hits_(&metrics_->counter("eval.store_hits")),
+      inflight_joins_(&metrics_->counter("eval.inflight_joins")),
+      pool_threads_(&metrics_->gauge("eval.pool_threads")),
+      pool_queue_depth_(&metrics_->gauge("eval.pool_queue_depth")),
+      pool_queue_high_water_(&metrics_->gauge("eval.pool_queue_high_water")),
+      store_loaded_(&metrics_->gauge("eval.store_loaded")),
+      store_appended_(&metrics_->gauge("eval.store_appended")),
       pool_(static_cast<std::size_t>(
           options_.threads > 0 ? options_.threads
-                               : static_cast<int>(num_threads()))) {
+                               : static_cast<int>(num_threads()))),
+      traces_(&metrics_->counter("eval.trace_hits"),
+              &metrics_->counter("eval.trace_builds")) {
+  pool_threads_->set(static_cast<double>(pool_.size()));
   if (!options_.store_path.empty()) {
     store_ = std::make_unique<ResultStore>(options_.store_path,
                                            options_.verbose);
@@ -63,9 +83,11 @@ EvalService::EvalService(EvalOptions options)
       slot.from_store = true;
       slot.done.store(true, std::memory_order_release);
     }
+    store_loaded_->set(static_cast<double>(store_->loaded().size()));
     if (options_.verbose && !store_->loaded().empty()) {
-      std::fprintf(stderr, "[eval] warm result store: %zu records from %s\n",
-                   store_->loaded().size(), store_->path().c_str());
+      obs::logf(obs::LogLevel::kInfo,
+                "[eval] warm result store: %zu records from %s\n",
+                store_->loaded().size(), store_->path().c_str());
     }
   }
 }
@@ -83,16 +105,18 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
     std::lock_guard<std::mutex> lock(shard.mutex);
     slot = &shard.map[key];
   }
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->add(1);
 
   ResultSource source;
   if (slot->done.load(std::memory_order_acquire)) {
     source = slot->from_store ? ResultSource::kStore : ResultSource::kMemo;
-    (slot->from_store ? store_hits_ : memo_hits_)
-        .fetch_add(1, std::memory_order_relaxed);
+    (slot->from_store ? store_hits_ : memo_hits_)->add(1);
   } else {
     bool ran = false;
     std::call_once(slot->once, [&] {
+      // Coarse per-simulation span: one event per fresh backend run keeps a
+      // 180k-config trace readable and the disabled-tracer cost to a branch.
+      obs::Span span("eval.backend_run", "eval");
       const isa::Program& trace =
           chosen.needs_trace()
               ? traces_.get(request.app, request.config.core.vector_length_bits)
@@ -106,7 +130,7 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
     });
     if (ran) {
       source = ResultSource::kBackend;
-      backend_runs_.fetch_add(1, std::memory_order_relaxed);
+      backend_runs_->add(1);
       if (store_ != nullptr && chosen.persistable()) {
         store_->append({key.tag, key.app, key.features, slot->core, slot->mem});
       }
@@ -114,7 +138,7 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
       // The once-latch was won by a concurrent identical request; we waited
       // on its completion instead of re-running the backend.
       source = ResultSource::kInflight;
-      inflight_joins_.fetch_add(1, std::memory_order_relaxed);
+      inflight_joins_->add(1);
     }
   }
 
@@ -134,6 +158,8 @@ std::vector<EvalResult> EvalService::evaluate(
     const Progress& progress) {
   std::vector<EvalResult> out(requests.size());
   if (requests.empty()) return out;
+  obs::Span span("eval.batch", "eval");
+  span.set_detail(std::to_string(requests.size()) + " requests");
   std::atomic<std::size_t> done{0};
   auto run_one = [&](std::size_t i) {
     out[i] = evaluate_one(requests[i], backend);
@@ -149,17 +175,22 @@ std::vector<EvalResult> EvalService::evaluate(
 
 EvalStats EvalService::stats() const {
   EvalStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.backend_runs = backend_runs_.load(std::memory_order_relaxed);
-  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
-  s.store_hits = store_hits_.load(std::memory_order_relaxed);
-  s.inflight_joins = inflight_joins_.load(std::memory_order_relaxed);
+  s.requests = requests_->value();
+  s.backend_runs = backend_runs_->value();
+  s.memo_hits = memo_hits_->value();
+  s.store_hits = store_hits_->value();
+  s.inflight_joins = inflight_joins_->value();
   if (store_ != nullptr) {
     s.store_loaded = store_->loaded().size();
     s.store_appended = store_->appended();
   }
   s.trace_hits = traces_.hits();
   s.trace_builds = traces_.builds();
+  // Refresh the sampled gauges so a registry snapshot taken after stats()
+  // (the bench/CI artifact path) reflects the pool and store state.
+  pool_queue_depth_->set(static_cast<double>(pool_.queue_depth()));
+  pool_queue_high_water_->set(static_cast<double>(pool_.max_queue_depth()));
+  store_appended_->set(static_cast<double>(s.store_appended));
   return s;
 }
 
@@ -171,6 +202,7 @@ EvalService& EvalService::shared() {
     EvalOptions options;
     options.store_path = cache_dir() + "/eval_store.bin";
     options.verbose = true;
+    options.registry = &obs::Registry::global();
     return options;
   }());
   return service;

@@ -17,6 +17,11 @@
 /// default, the hardware proxy and a forest surrogate ride the same memo.
 /// This is the seam future scaling work (sharding across processes, async
 /// dispatch, remote workers) plugs into.
+///
+/// Observability: the service's cache/dedup counters are `obs::Registry`
+/// metrics (the shared service reports into the global registry; hermetic
+/// services get a private one), each batch and each fresh backend run is a
+/// trace span, and `stats()` snapshots everything into `EvalStats`.
 
 #include <array>
 #include <atomic>
@@ -36,6 +41,7 @@
 #include "eval/result_store.hpp"
 #include "eval/trace_cache.hpp"
 #include "kernels/workloads.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace adse::eval {
@@ -48,6 +54,11 @@ struct EvalOptions {
   /// (hermetic, what unit tests want).
   std::string store_path;
   bool verbose = false;
+  /// Metrics registry the service's "eval.*" counters live in. nullptr (the
+  /// default) gives the service a private registry, so hermetic services —
+  /// unit tests — never see another instance's traffic;
+  /// `EvalService::shared()` reports into `obs::Registry::global()`.
+  obs::Registry* registry = nullptr;
 };
 
 /// One evaluation to perform: a design point and the app to run on it.
@@ -108,8 +119,15 @@ class EvalService {
     pool_.parallel_for(count, fn);
   }
 
-  /// Snapshot of the cache/dedup counters.
+  /// Snapshot of the cache/dedup counters. The live counters are obs
+  /// registry metrics ("eval.requests", "eval.backend_runs", ...); this
+  /// reads them into the plain EvalStats block the renderers consume, and
+  /// refreshes the service's pool/store gauges as a side effect.
   EvalStats stats() const;
+
+  /// The registry this service reports into (its own unless EvalOptions
+  /// supplied one).
+  obs::Registry& metrics() const { return *metrics_; }
 
   /// The process-wide service: env-default thread count, persistent store
   /// under the cache dir. Entry points (benches, examples, campaign/DSE
@@ -156,18 +174,26 @@ class EvalService {
   Shard& shard_for(const MemoKey& key);
 
   EvalOptions options_;
+  /// Present only when options_.registry was null (hermetic service).
+  std::unique_ptr<obs::Registry> own_metrics_;
+  obs::Registry* metrics_;
+  // Cached registry metrics — the single source of truth EvalStats reads.
+  obs::Counter* requests_;
+  obs::Counter* backend_runs_;
+  obs::Counter* memo_hits_;
+  obs::Counter* store_hits_;
+  obs::Counter* inflight_joins_;
+  obs::Gauge* pool_threads_;
+  obs::Gauge* pool_queue_depth_;
+  obs::Gauge* pool_queue_high_water_;
+  obs::Gauge* store_loaded_;
+  obs::Gauge* store_appended_;
   ThreadPool pool_;
   TraceCache traces_;
   SimulatorBackend simulator_;
   HardwareProxyBackend proxy_;
   std::unique_ptr<ResultStore> store_;
   std::array<Shard, kNumShards> shards_;
-
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> backend_runs_{0};
-  std::atomic<std::uint64_t> memo_hits_{0};
-  std::atomic<std::uint64_t> store_hits_{0};
-  std::atomic<std::uint64_t> inflight_joins_{0};
 };
 
 }  // namespace adse::eval

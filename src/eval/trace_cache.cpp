@@ -12,12 +12,12 @@ const isa::Program& TraceCache::get(kernels::App app, int vl) {
     slot = &cache_[key];
   }
   if (slot->built.load(std::memory_order_acquire)) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter_->add(1);
     return slot->program;
   }
   std::call_once(slot->once, [&] {
     slot->program = kernels::build_app(app, vl);
-    builds_.fetch_add(1, std::memory_order_relaxed);
+    build_counter_->add(1);
     slot->built.store(true, std::memory_order_release);
   });
   return slot->program;

@@ -21,11 +21,21 @@
 
 #include "isa/program.hpp"
 #include "kernels/workloads.hpp"
+#include "obs/metrics.hpp"
 
 namespace adse::eval {
 
 class TraceCache {
  public:
+  /// Standalone cache: hit/build counters live in private obs counters.
+  TraceCache() : hit_counter_(&own_hits_), build_counter_(&own_builds_) {}
+
+  /// Cache whose traffic counts into externally owned (registry) counters —
+  /// how `EvalService` makes the obs registry the source of truth for
+  /// "eval.trace_hits" / "eval.trace_builds". Both must outlive the cache.
+  TraceCache(obs::Counter* hits, obs::Counter* builds)
+      : hit_counter_(hits), build_counter_(builds) {}
+
   /// Returns the trace for (app, vl), building it on first use. The returned
   /// reference stays valid for the cache's lifetime.
   const isa::Program& get(kernels::App app, int vl);
@@ -33,9 +43,9 @@ class TraceCache {
   std::size_t size() const;
 
   /// Calls that found the trace already built (no once-latch wait needed).
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hit_counter_->value(); }
   /// Traces actually built (== size(), counted as they happen).
-  std::uint64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+  std::uint64_t builds() const { return build_counter_->value(); }
 
  private:
   /// One slot per key. std::map nodes are address-stable, so the slot (and
@@ -48,8 +58,10 @@ class TraceCache {
 
   mutable std::mutex mutex_;
   std::map<std::pair<int, int>, Slot> cache_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> builds_{0};
+  obs::Counter own_hits_;
+  obs::Counter own_builds_;
+  obs::Counter* hit_counter_;
+  obs::Counter* build_counter_;
 };
 
 }  // namespace adse::eval

@@ -1,0 +1,107 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/require.hpp"
+#include "common/strings.hpp"
+
+namespace adse::obs {
+
+namespace {
+
+constexpr int kUnset = -1;
+
+std::atomic<int> g_min_level{kUnset};
+std::atomic<LogSink> g_sink{nullptr};
+
+void stderr_sink(LogLevel /*level*/, std::string_view message) {
+  // Verbatim: callers own their formatting (including the trailing newline),
+  // which is what keeps pre-obs output byte-identical at the default level.
+  std::fwrite(message.data(), 1, message.size(), stderr);
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  const std::string lower = to_lower(trim(name));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  ADSE_REQUIRE_MSG(false, "unknown log level '" << std::string(name)
+                                                << "' (want trace|debug|info|"
+                                                   "warn|error|off)");
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel log_level() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level == kUnset) {
+    // Racing first calls parse the same env string and store the same value.
+    level = static_cast<int>(parse_log_level(adse::log_level_name()));
+    g_min_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return level >= log_level() && level != LogLevel::kOff;
+}
+
+LogSink set_log_sink(LogSink sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (!log_enabled(level)) return;
+  const LogSink sink = g_sink.load(std::memory_order_acquire);
+  (sink != nullptr ? sink : &stderr_sink)(level, message);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char stack_buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    va_end(args_copy);
+    log(level, std::string_view(stack_buf, static_cast<std::size_t>(needed)));
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+  va_end(args_copy);
+  log(level, std::string_view(heap_buf.data(), static_cast<std::size_t>(needed)));
+}
+
+}  // namespace adse::obs

@@ -1,0 +1,68 @@
+#pragma once
+/// \file log.hpp
+/// Leveled logging for the long-running layers (campaign batches, DSE
+/// rounds, eval-service cache events). Replaces the ad-hoc
+/// `std::fprintf(stderr, ...)` calls those layers grew organically: one
+/// process-wide minimum level (`ADSE_LOG_LEVEL`, read once through
+/// `adse::log_level_name()`), one sink, printf-style call sites.
+///
+/// Two compatibility rules keep the migration invisible at the default
+/// level ("info"):
+///   * messages are emitted *verbatim* — no timestamp/level prefix is
+///     prepended and no newline appended, so existing greppable lines
+///     (e.g. "[campaign main] 400/6000 runs ...") stay byte-identical;
+///   * every pre-existing print maps to kInfo or above, so the default
+///     level preserves the exact output of the previous releases.
+
+#include <string_view>
+
+namespace adse::obs {
+
+/// Severity, ordered: a message is emitted iff its level >= the configured
+/// minimum. kOff as the minimum silences everything.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Parses a level name ("trace", "debug", "info", "warn", "error", "off",
+/// case-insensitive); throws InvariantError on anything else.
+LogLevel parse_log_level(std::string_view name);
+
+/// The level's canonical lower-case name.
+const char* log_level_name(LogLevel level);
+
+/// The process minimum level. First call parses ADSE_LOG_LEVEL (via
+/// `adse::log_level_name()`, default "info"); later calls return the cached
+/// value unless `set_log_level` overrode it.
+LogLevel log_level();
+
+/// Programmatic override (tests, embedding tools).
+void set_log_level(LogLevel level);
+
+/// True if a message at `level` would be emitted — use to skip expensive
+/// message construction.
+bool log_enabled(LogLevel level);
+
+/// Sink signature: receives the already-filtered, fully formatted message.
+using LogSink = void (*)(LogLevel level, std::string_view message);
+
+/// Replaces the sink (nullptr restores the default stderr sink). Returns the
+/// previous sink (nullptr if the default was active).
+LogSink set_log_sink(LogSink sink);
+
+/// Emits a pre-formatted message (verbatim — bring your own newline).
+void log(LogLevel level, std::string_view message);
+
+/// printf-style convenience; formatting is skipped entirely when the level
+/// is filtered out.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace adse::obs

@@ -1,0 +1,238 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/text_table.hpp"
+
+namespace adse::obs {
+
+namespace {
+
+/// Shortest-round-trip-ish double for JSON; non-finite values (empty
+/// histogram sentinels) degrade to 0 so the document always parses.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Compact human form for the text table.
+std::string text_number(double v) {
+  if (!std::isfinite(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void cas_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void cas_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& Counter::shard() noexcept {
+  // One process-wide slot per thread: each thread's adds always land in the
+  // same shard, so the only contention is the (thread count / kShards)
+  // threads that hash to the same line.
+  static std::atomic<unsigned> next_slot{0};
+  thread_local const unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return shards_[slot % kShards].count;
+}
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negative, NaN
+  int exponent = 0;
+  const double fraction = std::frexp(v, &exponent);  // v = f * 2^e, f∈[0.5,1)
+  const int octave = exponent - 1 - kMinExponent;
+  if (octave < 0) return 1;  // underflow clamps into the first real bucket
+  if (octave >= kMaxExponent - kMinExponent) return kNumBuckets - 1;
+  const int sub = static_cast<int>((fraction - 0.5) * 2.0 * kSubBuckets);
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub < kSubBuckets ? sub : kSubBuckets - 1);
+}
+
+double Histogram::bucket_value(std::size_t index) noexcept {
+  if (index == 0) return 0.0;
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExponent);
+  const std::size_t i = index - 1;
+  const auto octave = static_cast<int>(i / kSubBuckets);
+  const auto sub = static_cast<double>(i % kSubBuckets);
+  // Arithmetic midpoint of the bucket's fraction span [0.5 + s/2k, 0.5 + (s+1)/2k).
+  const double fraction = 0.5 + (sub + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(fraction, octave + kMinExponent + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+  cas_min(min_, v);
+  cas_max(max_, v);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Nearest-rank: the smallest bucket whose cumulative count covers rank.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) return bucket_value(i);
+  }
+  return bucket_value(kNumBuckets - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = quantile(0.50);
+    s.p90 = quantile(0.90);
+    s.p99 = quantile(0.99);
+  }
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::render_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  if (!counters_.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, c] : counters_) {
+      table.add_row({name, std::to_string(c->value())});
+    }
+    os << table.render();
+  }
+  if (!gauges_.empty()) {
+    if (os.tellp() > 0) os << '\n';
+    TextTable table({"gauge", "value"});
+    for (const auto& [name, g] : gauges_) {
+      table.add_row({name, text_number(g->value())});
+    }
+    os << table.render();
+  }
+  if (!histograms_.empty()) {
+    if (os.tellp() > 0) os << '\n';
+    TextTable table({"histogram", "count", "mean", "p50", "p90", "p99",
+                     "min", "max"});
+    for (const auto& [name, h] : histograms_) {
+      const HistogramSnapshot s = h->snapshot();
+      table.add_row({name, std::to_string(s.count), text_number(s.mean()),
+                     text_number(s.p50), text_number(s.p90),
+                     text_number(s.p99), text_number(s.min),
+                     text_number(s.max)});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << json_number(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << s.count << ", \"sum\": " << json_number(s.sum)
+       << ", \"mean\": " << json_number(s.mean())
+       << ", \"min\": " << json_number(s.min)
+       << ", \"max\": " << json_number(s.max)
+       << ", \"p50\": " << json_number(s.p50)
+       << ", \"p90\": " << json_number(s.p90)
+       << ", \"p99\": " << json_number(s.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace adse::obs

@@ -1,0 +1,181 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide metrics: sharded counters, gauges and log-bucketed
+/// histograms collected in a `Registry` that can snapshot itself as an
+/// aligned text table or JSON. This is the single reporting surface the
+/// campaign runner, the DSE search loop and the evaluation service emit
+/// into — the consolidation of the stats structs each of them used to own.
+///
+/// Design constraints, in order:
+///   1. hot-path writes must be cheap and contention-free: `Counter` shards
+///      its count across cache-line-padded atomics indexed by a thread-
+///      affine slot, so concurrent `add()`s from the eval pool never bounce
+///      a shared line (reads sum the shards — exact, but O(shards));
+///   2. registration is explicit and by name: `registry.counter("x")`
+///      returns a stable reference; call sites cache the pointer once and
+///      pay zero name lookups afterwards;
+///   3. histograms must bound memory while answering quantile queries:
+///      buckets are logarithmic (8 per octave, ≤ ±4.5% representative
+///      error), so a latency distribution spanning ns→hours fits in a few
+///      KB with useful p50/p90/p99.
+///
+/// `Registry::global()` is the process-wide instance; unit tests (and the
+/// hermetic EvalService) build private registries so their counts never
+/// bleed across test cases.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace adse::obs {
+
+/// Monotonic event count. Writes are relaxed atomic adds to a thread-affine
+/// shard; value() sums the shards (exact — every add lands in exactly one
+/// shard).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shard().fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::atomic<std::uint64_t>& shard() noexcept;
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, best objective, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time histogram summary (what the snapshot renderers consume).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed histogram over non-negative samples: 8 buckets per octave
+/// spanning 2^-32 .. 2^32, plus a dedicated bucket for zero/negative and an
+/// overflow bucket. Quantiles return the bucket's geometric midpoint, so
+/// the relative error is bounded by half a bucket width (~4.5%).
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate for q in [0, 1]; 0 when empty.
+  double quantile(double q) const noexcept;
+
+  HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  static constexpr int kSubBuckets = 8;       // per octave
+  static constexpr int kMinExponent = -32;    // smallest tracked octave
+  static constexpr int kMaxExponent = 32;     // largest tracked octave
+  static constexpr std::size_t kNumBuckets =
+      // zero bucket + octaves * sub-buckets + overflow bucket
+      1 + static_cast<std::size_t>(kMaxExponent - kMinExponent) * kSubBuckets +
+      1;
+
+  static std::size_t bucket_index(double v) noexcept;
+  static double bucket_value(std::size_t index) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Sentinels collapse the "first sample" race into plain CAS-min/max.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Named collection of metrics. Lookup takes a mutex; returned references
+/// are stable for the registry's lifetime, so call sites resolve names once
+/// and keep the pointer. Re-registering a name returns the same instance;
+/// a name may only be used for one metric kind.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Aligned text tables (counters/gauges/histograms), for humans.
+  std::string render_text() const;
+
+  /// One JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} — the metrics-snapshot artifact CI uploads.
+  std::string render_json() const;
+
+  /// The process-wide registry every layer reports into by default.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace adse::obs

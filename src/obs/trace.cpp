@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "common/env.hpp"
+#include "obs/log.hpp"
+
+namespace adse::obs {
+
+namespace {
+
+/// Small dense per-thread id for the trace's "tid" field (real thread ids
+/// are wide and non-contiguous, which renders poorly in the viewer).
+int trace_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::string path) : path_(std::move(path)) {}
+
+Tracer::~Tracer() { flush(); }
+
+void Tracer::record(const char* name, const char* category, double start_us,
+                    double duration_us, std::string detail) {
+  if (!enabled()) return;
+  const int tid = trace_thread_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      Event{name, category, start_us, duration_us, tid, std::move(detail)});
+}
+
+void Tracer::flush() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(path_);
+  if (!out) {
+    logf(LogLevel::kWarn, "[obs] cannot write trace file %s\n", path_.c_str());
+    return;
+  }
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d",
+                  escape(e.name).c_str(), escape(e.category).c_str(),
+                  e.start_us, e.duration_us, e.tid);
+    out << buf;
+    if (!e.detail.empty()) {
+      out << ", \"args\": {\"detail\": \"" << escape(e.detail) << "\"}";
+    }
+    out << "}";
+  }
+  out << (events_.empty() ? "]}\n" : "\n]}\n");
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+Tracer& Tracer::global() {
+  // ADSE_TRACE_FILE is read exactly once, at first use; the static's
+  // destructor flushes whatever the process recorded.
+  static Tracer tracer(adse::trace_file());
+  return tracer;
+}
+
+bool tracing_enabled() { return Tracer::global().enabled(); }
+
+}  // namespace adse::obs

@@ -1,11 +1,17 @@
 #include "sim/simulation.hpp"
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace adse::sim {
 
 RunResult simulate(const config::CpuConfig& config,
                    const isa::Program& program) {
+  // Coarse, per-simulation observability only: one span and two counter
+  // adds per run. The per-cycle hot loop stays uninstrumented so tracing/
+  // metrics cannot regress bench/98 throughput.
+  obs::Span span("sim.simulate", "sim");
   mem::MemoryHierarchy hierarchy(config.mem, config::kCoreClockGhz);
   core::Core core(config, hierarchy);
   RunResult result;
@@ -14,6 +20,12 @@ RunResult simulate(const config::CpuConfig& config,
   result.core = core.run(program);
   result.mem = hierarchy.stats();
   validate_result(result, program);
+  static obs::Counter& simulations =
+      obs::Registry::global().counter("sim.simulations");
+  static obs::Counter& simulated_cycles =
+      obs::Registry::global().counter("sim.simulated_cycles");
+  simulations.add(1);
+  simulated_cycles.add(result.core.cycles);
   return result;
 }
 

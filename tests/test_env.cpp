@@ -14,7 +14,8 @@ class EnvTest : public ::testing::Test {
   void TearDown() override {
     for (const char* name : {"ADSE_TEST_VAR", "ADSE_CONFIGS",
                              "ADSE_CONFIGS_CONSTRAINED", "ADSE_THREADS",
-                             "ADSE_SEED", "ADSE_CACHE_DIR"}) {
+                             "ADSE_SEED", "ADSE_CACHE_DIR", "ADSE_LOG_LEVEL",
+                             "ADSE_TRACE_FILE"}) {
       unsetenv(name);
     }
   }
@@ -51,6 +52,15 @@ TEST_F(EnvTest, CampaignKnobOverrides) {
   EXPECT_EQ(main_campaign_configs(), 77);
   EXPECT_EQ(campaign_seed(), 5u);
   EXPECT_EQ(cache_dir(), "/tmp/elsewhere");
+}
+
+TEST_F(EnvTest, ObservabilityKnobs) {
+  EXPECT_EQ(log_level_name(), "info");
+  EXPECT_EQ(trace_file(), "");
+  setenv("ADSE_LOG_LEVEL", "warn", 1);
+  setenv("ADSE_TRACE_FILE", "/tmp/trace.json", 1);
+  EXPECT_EQ(log_level_name(), "warn");
+  EXPECT_EQ(trace_file(), "/tmp/trace.json");
 }
 
 TEST_F(EnvTest, TooSmallCampaignRejected) {
