@@ -1,0 +1,128 @@
+/// \file check_tool.cpp
+/// Driver for the adse::check verification harness.
+///
+///   ./examples/check_tool --fuzz 32 --seed 1            # fuzz, exit 1 on bugs
+///   ./examples/check_tool --fuzz 512 --repro-dir repros # CI extended run
+///   ./examples/check_tool --repro repros/repro-1-7.txt  # replay a finding
+///
+/// Exit codes: 0 = clean (or a replayed repro no longer fires), 1 = at least
+/// one violation (or a replayed repro still fires), 77 = skipped because the
+/// gating environment variable (--skip-unless-env) is unset — the ctest
+/// SKIP_RETURN_CODE convention.
+///
+/// The tool uses a hermetic evaluation service (no persistent result store):
+/// a cached result would bypass the in-run structural checks and could mask
+/// the very bugs the fuzzer exists to find.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "check/repro.hpp"
+#include "common/stopwatch.hpp"
+#include "config/serialize.hpp"
+#include "eval/service.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--fuzz N] [--seed S] [--chains L] [--threads T]\n"
+      "          [--repro-dir DIR] [--no-shrink] [--verbose]\n"
+      "          [--repro FILE] [--skip-unless-env VAR]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adse;
+
+  check::FuzzOptions options;
+  std::string repro_file;
+  int threads = 0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fuzz") {
+      options.iterations = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--chains") {
+      options.chain_points = std::atoi(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--repro-dir") {
+      options.repro_dir = next();
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--repro") {
+      repro_file = next();
+    } else if (arg == "--skip-unless-env") {
+      const char* gate = std::getenv(next());
+      if (gate == nullptr || gate[0] == '\0') {
+        std::printf("skipped (gating environment variable unset)\n");
+        return 77;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  options.verbose = verbose;
+
+  // Hermetic service: in-memory memo only (see file comment).
+  eval::EvalOptions eval_options;
+  eval_options.threads = threads;
+  eval::EvalService service(eval_options);
+
+  if (!repro_file.empty()) {
+    const check::Violation violation = check::load_repro(repro_file);
+    std::printf("replaying %s (%s, app %s, seed %llu, iteration %llu)\n",
+                repro_file.c_str(),
+                violation.kind == check::Violation::Kind::kInvariant
+                    ? "invariant"
+                    : "monotonicity",
+                kernels::app_slug(violation.app).c_str(),
+                static_cast<unsigned long long>(violation.seed),
+                static_cast<unsigned long long>(violation.iteration));
+    if (verbose) {
+      std::printf("%s\n", config::to_yaml(violation.config).c_str());
+    }
+    const bool fires = check::reproduces(service, violation);
+    std::printf("%s: %s\n", repro_file.c_str(),
+                fires ? "STILL REPRODUCES" : "does not reproduce (fixed)");
+    return fires ? 1 : 0;
+  }
+
+  Stopwatch watch;
+  const check::FuzzReport report = check::fuzz(service, options);
+  const double seconds = watch.millis() / 1000.0;
+  std::printf("check_tool: %s in %.1f s on %zu threads (seed %llu)\n",
+              report.summary().c_str(), seconds, service.threads(),
+              static_cast<unsigned long long>(options.seed));
+  for (const check::Violation& v : report.violations) {
+    std::printf("  [%s] iteration %llu app %s: %s\n",
+                v.kind == check::Violation::Kind::kInvariant ? "invariant"
+                                                             : "monotonicity",
+                static_cast<unsigned long long>(v.iteration),
+                kernels::app_slug(v.app).c_str(), v.message.c_str());
+    if (!v.repro_path.empty()) {
+      std::printf("        repro: %s\n", v.repro_path.c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+#pragma once
+/// \file fuzzer.hpp
+/// Config-space fuzzing: hammer the simulator with random valid design
+/// points and falsify two property families on each —
+///
+///   * every run must satisfy the structural invariants and the reference
+///     model's oracle facts/bounds (check.hpp);
+///   * single-parameter monotonicity: walking one capacity parameter upward
+///     on an otherwise-fixed configuration must never increase cycles for a
+///     fixed trace (more ROB entries, more rename registers, deeper queues
+///     cannot make the same µop stream slower in this model).
+///
+/// Iterations are independently seeded (seed ⊕ iteration), so the report is
+/// byte-identical whatever the thread count, and each violation is shrunk
+/// toward the ThunderX2 baseline into a minimal deterministic repro
+/// (repro.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/repro.hpp"
+#include "common/rng.hpp"
+#include "config/param_space.hpp"
+#include "eval/service.hpp"
+
+namespace adse::check {
+
+/// Parameters whose chains the fuzzer walks: capacity/width resources where
+/// "more must never be slower" holds in this model (empirically validated by
+/// the extended fuzz soak; see DESIGN.md §10 for why e.g. prefetch depth and
+/// cache geometry are excluded — they legitimately trade off).
+const std::vector<config::ParamId>& monotone_params();
+
+/// One monotonicity chain: ascending values of one parameter on a fixed
+/// base configuration, with the measured cycles for each point.
+struct ChainResult {
+  config::ParamId param = config::ParamId::kRobSize;
+  std::vector<double> values;          ///< ascending range members
+  std::vector<std::uint64_t> cycles;   ///< one entry per value
+  std::vector<std::string> errors;     ///< invariant failures ("" = clean)
+
+  /// Index i (>= 1) of the first point slower than its predecessor by more
+  /// than the monotonicity slack, or -1.
+  int first_regression() const;
+};
+
+/// Evaluates `base` with `param` set to each of `values` (ascending, all
+/// range members) on `app`. Invariant failures are recorded per point; such
+/// points are excluded from the monotonicity comparison.
+ChainResult run_chain(eval::EvalService& service,
+                      const config::CpuConfig& base, config::ParamId param,
+                      std::vector<double> values, kernels::App app);
+
+struct FuzzOptions {
+  int iterations = 32;
+  std::uint64_t seed = 1;
+  /// Points per monotonicity chain (>= 2 to be able to compare).
+  int chain_points = 3;
+  /// Shrink violations toward the baseline before reporting.
+  bool shrink = true;
+  /// Directory for repro files ("" = do not write any).
+  std::string repro_dir;
+  bool verbose = false;
+};
+
+struct FuzzReport {
+  int iterations = 0;
+  std::uint64_t evaluations = 0;  ///< simulator runs requested (pre-memo)
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Runs the fuzzer on the service's pool. Deterministic for a fixed
+/// (iterations, seed, chain_points): violations come back sorted by
+/// iteration and shrinking is sequential. The structural check layer is
+/// force-enabled for the duration of the call.
+FuzzReport fuzz(eval::EvalService& service, const FuzzOptions& options);
+
+}  // namespace adse::check

@@ -1,0 +1,113 @@
+#pragma once
+/// \file repro.hpp
+/// Failure records, delta-shrinking and deterministic repro files.
+///
+/// A fuzzer finding is only useful if it survives the fuzzer: every
+/// violation is shrunk toward the ThunderX2 baseline until a minimal set of
+/// parameters still triggers it, then written as a small text file that
+/// `check_tool --repro` replays bit-for-bit (the evaluation path is
+/// deterministic, so a repro either fires or the bug is fixed).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "eval/service.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::check {
+
+/// Slack for the monotonicity property, shared by chain detection
+/// (fuzzer.hpp) and repro replay so both call the same thing a violation.
+/// Strict monotonicity does not hold with memory in the loop: extra
+/// capacity exposes more loads at once, which re-times evictions and
+/// writebacks and can mildly thrash the caches (the fuzz soak's worst
+/// genuine case is +6.7% cycles; real hardware shows the same excess-MLP
+/// effect on streaming codes). So the checked property is "raising a
+/// capacity resource may cost at most rel·cycles + abs": loose enough for
+/// legitimate re-timing, tight enough that a broken stall condition
+/// (2-10x slowdowns) still fails.
+inline constexpr double kMonotoneRelSlack = 0.10;
+inline constexpr std::uint64_t kMonotoneAbsSlack = 64;
+
+/// cycles_hi exceeding this for a given cycles_lo is a monotonicity
+/// violation (more resources made the fixed trace slower beyond the slack).
+inline constexpr std::uint64_t monotone_allowed_cycles(std::uint64_t lo) {
+  const auto rel =
+      static_cast<std::uint64_t>(static_cast<double>(lo) * kMonotoneRelSlack);
+  return lo + (rel > kMonotoneAbsSlack ? rel : kMonotoneAbsSlack);
+}
+
+/// One property violation found by the fuzzer (or loaded from a repro file).
+struct Violation {
+  enum class Kind {
+    kInvariant,     ///< a model invariant / oracle bound failed on one run
+    kMonotonicity,  ///< adding a resource made a fixed trace slower
+  };
+
+  Kind kind = Kind::kInvariant;
+  kernels::App app = kernels::App::kStream;
+  std::uint64_t seed = 0;       ///< fuzzer seed that produced it
+  std::uint64_t iteration = 0;  ///< fuzzer iteration that produced it
+  /// The failing design point (post-shrink: minimal diff vs the baseline).
+  config::CpuConfig config;
+  std::string message;
+
+  // Monotonicity context: raising `chain_param` from chain_lo to chain_hi on
+  // `config` moved cycles from cycles_lo up to cycles_hi.
+  std::optional<config::ParamId> chain_param;
+  double chain_lo = 0.0;
+  double chain_hi = 0.0;
+  std::uint64_t cycles_lo = 0;
+  std::uint64_t cycles_hi = 0;
+
+  /// Where the repro file was written ("" if none was).
+  std::string repro_path;
+};
+
+/// Parameters on which `config` differs from `reference` (ParamId order).
+std::vector<config::ParamId> diff_params(const config::CpuConfig& config,
+                                         const config::CpuConfig& reference);
+
+/// Feature-vector accessors: read / functionally update one parameter of a
+/// configuration (the fuzzer's chain runner and the shrinker edit configs
+/// this way so every edit round-trips the canonical feature encoding).
+double param_value(const config::CpuConfig& config, config::ParamId id);
+config::CpuConfig with_param(const config::CpuConfig& config,
+                             config::ParamId id, double value);
+
+/// Delta-shrinks `violation.config` toward `target` (param-at-a-time ddmin):
+/// repeatedly resets each differing parameter to the target's value, keeping
+/// the reset whenever `fires(candidate)` says the violation still
+/// reproduces, until a fixed point. Invalid intermediate configurations are
+/// skipped; a monotonicity violation's chain parameter is never reset.
+/// Returns the number of parameters still differing from `target`.
+std::size_t shrink_violation(
+    const std::function<bool(const Violation&)>& fires, Violation& violation,
+    const config::CpuConfig& target);
+
+/// The production form: `fires` re-runs the violation through `service`.
+std::size_t shrink_violation(eval::EvalService& service, Violation& violation,
+                             const config::CpuConfig& target);
+
+/// Re-runs a violation through the evaluation service. True = still fires.
+/// Invariant violations re-check the run against the oracle; monotonicity
+/// violations re-run the (chain_lo, chain_hi) pair and compare cycles.
+bool reproduces(eval::EvalService& service, const Violation& violation);
+
+/// Serialises a violation as a deterministic text repro (stable line order,
+/// %.17g values, parameter diff vs the ThunderX2 baseline).
+std::string repro_to_string(const Violation& violation);
+
+/// Inverse of repro_to_string; throws InvariantError on malformed input.
+Violation repro_from_string(const std::string& text);
+
+/// File wrappers. save_repro creates `dir` if needed and names the file
+/// repro-<seed>-<iteration>.txt, storing the path in violation.repro_path.
+void save_repro(const std::string& dir, Violation& violation);
+Violation load_repro(const std::string& path);
+
+}  // namespace adse::check

@@ -1,0 +1,24 @@
+#include "common/check.hpp"
+
+#include "common/env.hpp"
+
+namespace adse {
+
+std::atomic<int> CheckContext::state_{-1};
+
+bool CheckContext::enabled() {
+  int s = state_.load(std::memory_order_relaxed);
+  if (s < 0) {
+    // Racing first queries all read the same environment value; the exchange
+    // is idempotent.
+    s = check_enabled_default() ? 1 : 0;
+    state_.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void CheckContext::set_enabled(bool on) {
+  state_.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace adse

@@ -49,4 +49,6 @@ std::string log_level_name() { return env_string("ADSE_LOG_LEVEL", "info"); }
 
 std::string trace_file() { return env_string("ADSE_TRACE_FILE", ""); }
 
+bool check_enabled_default() { return env_int("ADSE_CHECK", 0) != 0; }
+
 }  // namespace adse

@@ -45,4 +45,9 @@ std::string log_level_name();
 /// nothing else should getenv it.
 std::string trace_file();
 
+/// Default state of the simulator invariant layer (ADSE_CHECK, default 0 =
+/// off). Read once by `CheckContext::enabled()` — nothing else should
+/// getenv it; use CheckContext / ScopedCheck to toggle at runtime.
+bool check_enabled_default();
+
 }  // namespace adse

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "common/check.hpp"
 #include "common/require.hpp"
 #include "isa/ports.hpp"
 
@@ -530,9 +531,59 @@ std::uint64_t Core::next_event_cycle() const {
   return next;
 }
 
+void Core::check_invariants() const {
+  // The structural properties every cycle of every configuration must
+  // respect. Capacity bounds use the configured sizes, not the container
+  // sizes, so an allocation-time off-by-one cannot mask an occupancy bug.
+  ADSE_REQUIRE_MSG(rob_count_ <= static_cast<std::uint32_t>(config_.core.rob_size),
+                   "ROB occupancy " << rob_count_ << " exceeds capacity "
+                                    << config_.core.rob_size << " at cycle "
+                                    << cycle_);
+  ADSE_REQUIRE_MSG(lq_count_ <= static_cast<std::uint32_t>(config_.core.load_queue_size),
+                   "LQ occupancy " << lq_count_ << " exceeds capacity "
+                                   << config_.core.load_queue_size
+                                   << " at cycle " << cycle_);
+  ADSE_REQUIRE_MSG(sq_count_ <= static_cast<std::uint32_t>(config_.core.store_queue_size),
+                   "SQ occupancy " << sq_count_ << " exceeds capacity "
+                                   << config_.core.store_queue_size
+                                   << " at cycle " << cycle_);
+  ADSE_REQUIRE_MSG(
+      rs_count_ >= 0 &&
+          rs_count_ <= config_.backend.reservation_station_size,
+      "RS occupancy " << rs_count_ << " exceeds capacity "
+                      << config_.backend.reservation_station_size
+                      << " at cycle " << cycle_);
+  ADSE_REQUIRE_MSG(free_rs_.size() + static_cast<std::size_t>(rs_count_) ==
+                       rs_.size(),
+                   "RS free list out of sync: " << free_rs_.size() << " free + "
+                                                << rs_count_ << " used != "
+                                                << rs_.size());
+  ADSE_REQUIRE_MSG(ready_rs_.size() <= static_cast<std::size_t>(rs_count_),
+                   "RS ready list (" << ready_rs_.size()
+                                     << ") larger than occupancy "
+                                     << rs_count_);
+  ADSE_REQUIRE_MSG(feq_count_ <= feq_.size(),
+                   "frontend queue occupancy " << feq_count_
+                                               << " exceeds capacity "
+                                               << feq_.size());
+  ADSE_REQUIRE_MSG(sq_unresolved_ >= 0 &&
+                       sq_unresolved_ <= static_cast<int>(sq_count_),
+                   "unresolved-store counter " << sq_unresolved_
+                                               << " outside [0, " << sq_count_
+                                               << "]");
+  ADSE_REQUIRE_MSG(stats_.retired + rob_count_ + feq_count_ +
+                           (program_size_ - fetch_cursor_) ==
+                       program_size_,
+                   "µop conservation broken: retired " << stats_.retired
+                                                       << ", in flight "
+                                                       << rob_count_);
+}
+
 CoreStats Core::run(const isa::Program& program, std::uint64_t max_cycles) {
   ADSE_REQUIRE_MSG(!program.ops.empty(), "empty program");
   stats_ = CoreStats{};
+  check_ = CheckContext::enabled();
+  program_size_ = program.ops.size();
 
   while (!finished(program)) {
     ADSE_REQUIRE_MSG(cycle_ < max_cycles,
@@ -548,6 +599,8 @@ CoreStats Core::run(const isa::Program& program, std::uint64_t max_cycles) {
     stage_issue();
     stage_dispatch();
     stage_frontend(program);
+
+    if (check_) check_invariants();
 
     if (activity_) {
       cycle_++;

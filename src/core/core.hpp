@@ -172,6 +172,10 @@ class Core {
   int pick_port(std::uint64_t free_ports, isa::InstrGroup group) const;
   /// Returns true when all µops are fetched and the ROB is empty.
   bool finished(const isa::Program& program) const;
+  /// Structural invariant sweep (occupancies <= capacities, free lists in
+  /// sync). Run once per entered cycle when CheckContext is enabled; throws
+  /// InvariantError naming the violated structure. See src/check.
+  void check_invariants() const;
   /// Earliest future cycle at which anything can change (event skip).
   std::uint64_t next_event_cycle() const;
 
@@ -186,6 +190,8 @@ class Core {
   std::uint64_t cycle_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t fetch_cursor_ = 0;
+  std::size_t program_size_ = 0;    ///< ops in the running program (checks)
+  bool check_ = false;              ///< invariant layer on (CheckContext)
   bool activity_ = false;           ///< anything advanced this cycle
   bool mem_send_capped_ = false;    ///< a sendable request hit a cap
   std::uint64_t frontend_flush_until_ = 0;  ///< mispredict redirect (proxy)

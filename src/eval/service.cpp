@@ -153,6 +153,15 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
   return out;
 }
 
+EvalService::CheckedResult EvalService::evaluate_checked(
+    const EvalRequest& request, const Backend* backend) {
+  try {
+    return CheckedResult{evaluate_one(request, backend), ""};
+  } catch (const InvariantError& err) {
+    return CheckedResult{std::nullopt, err.what()};
+  }
+}
+
 std::vector<EvalResult> EvalService::evaluate(
     std::span<const EvalRequest> requests, const Backend* backend,
     const Progress& progress) {

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -106,6 +107,21 @@ class EvalService {
   /// Single-request form; runs on the calling thread (no pool hop).
   EvalResult evaluate_one(const EvalRequest& request,
                           const Backend* backend = nullptr);
+
+  /// An evaluation outcome with model-invariant failures carried as data.
+  struct CheckedResult {
+    std::optional<EvalResult> result;  ///< empty when the run violated checks
+    std::string error;                 ///< the InvariantError message
+    bool ok() const { return result.has_value(); }
+  };
+
+  /// evaluate_one with InvariantError surfaced per-request instead of
+  /// unwinding a whole batch: the check fuzzer probes hostile corners of the
+  /// design space where a violation is the *signal*, not an abort. A failed
+  /// request leaves no memo entry, so replaying it deterministically
+  /// re-fails.
+  CheckedResult evaluate_checked(const EvalRequest& request,
+                                 const Backend* backend = nullptr);
 
   /// Shared trace cache (traces depend only on app and vector length).
   const isa::Program& trace(kernels::App app, int vl) {

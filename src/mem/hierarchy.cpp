@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/require.hpp"
 
 namespace adse::mem {
@@ -336,6 +337,27 @@ AccessResult MemoryHierarchy::access(std::uint64_t addr,
     if (la == last) break;
   }
   result.ready_cycle = worst_ready;
+  if (CheckContext::enabled()) {
+    // Structural invariants of the timing model: data is never ready before
+    // the request was issued, and every line request was accounted as
+    // exactly one L1 hit or one L1 miss.
+    ADSE_REQUIRE_MSG(result.ready_cycle >= now,
+                     "memory access ready at " << result.ready_cycle
+                                               << " before issue cycle "
+                                               << now);
+    ADSE_REQUIRE_MSG(stats_.l1_hits + stats_.l1_misses == stats_.line_requests,
+                     "L1 accounting broken: " << stats_.l1_hits << " hits + "
+                                              << stats_.l1_misses
+                                              << " misses != "
+                                              << stats_.line_requests
+                                              << " line requests");
+    ADSE_REQUIRE_MSG(stats_.l2_hits + stats_.l2_misses == stats_.l1_misses,
+                     "L2 accounting broken: " << stats_.l2_hits << " hits + "
+                                              << stats_.l2_misses
+                                              << " misses != "
+                                              << stats_.l1_misses
+                                              << " L1 misses");
+  }
   return result;
 }
 

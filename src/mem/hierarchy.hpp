@@ -112,6 +112,17 @@ class MemoryHierarchy {
   /// L1 hit latency in core cycles (frontier for the core's scheduling).
   std::uint64_t l1_latency_core_cycles() const { return l1_lat_core_; }
 
+  /// Exact timing constants in (fractional) core cycles, exposed so the
+  /// adse::check reference model prices a worst-case memory access with the
+  /// same clock-domain conversions this hierarchy applies — no duplicated
+  /// formulas to drift.
+  double l1_latency_core() const { return l1_lat_core_; }
+  double l2_latency_core() const { return l2_lat_core_; }
+  double ram_latency_core() const { return ram_lat_core_; }
+  double l1_interval_core() const { return l1_interval_; }
+  double l2_interval_core() const { return l2_interval_; }
+  double ram_interval_core() const { return ram_interval_; }
+
   /// Invalidates caches and timing state (between runs).
   void reset();
 

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include "common/check.hpp"
 #include "common/require.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,23 @@ RunResult simulate(const config::CpuConfig& config,
   result.core = core.run(program);
   result.mem = hierarchy.stats();
   validate_result(result, program);
+  if (CheckContext::enabled()) {
+    // Cross-component conservation the per-cycle core checks cannot see:
+    // every traced memory op either reached the hierarchy or was forwarded,
+    // and the hierarchy agrees with the LSQ on what it served. The oracle
+    // cycle bounds live one layer up (check::verify_run) to keep adse_sim
+    // free of a dependency on the check library.
+    ADSE_REQUIRE_MSG(result.mem.loads == result.core.loads_sent,
+                     "hierarchy saw " << result.mem.loads << " loads, LSQ sent "
+                                      << result.core.loads_sent);
+    ADSE_REQUIRE_MSG(result.mem.stores == result.core.stores_sent,
+                     "hierarchy saw " << result.mem.stores
+                                      << " stores, LSQ sent "
+                                      << result.core.stores_sent);
+    ADSE_REQUIRE_MSG(result.mem.l1_hits + result.mem.l1_misses ==
+                         result.mem.line_requests,
+                     "cache accounting unbalanced after run");
+  }
   static obs::Counter& simulations =
       obs::Registry::global().counter("sim.simulations");
   static obs::Counter& simulated_cycles =

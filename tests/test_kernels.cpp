@@ -198,6 +198,74 @@ TEST(MiniSweep, OctantsScaleTrace) {
               20.0);
 }
 
+TEST(Workloads, VectorOpCountsScaleInverselyWithVl) {
+  // The vectorised work is fixed; doubling VL must halve the vector µops.
+  // STREAM is fully vector-strip-mined, so the halving is exact; MiniBude
+  // carries a little per-pose scalar scaffolding, so allow 2% drift.
+  const auto s128 = isa::compute_stats(build_app(App::kStream, 128));
+  const auto s256 = isa::compute_stats(build_app(App::kStream, 256));
+  const auto vec = [](const isa::TraceStats& s) {
+    return s.by_group[static_cast<int>(isa::InstrGroup::kVec)];
+  };
+  const auto loads = [](const isa::TraceStats& s) {
+    return s.by_group[static_cast<int>(isa::InstrGroup::kLoad)];
+  };
+  EXPECT_EQ(vec(s128), 2 * vec(s256));
+  EXPECT_EQ(s128.sve_ops, 2 * s256.sve_ops);
+  // One extra scalar-ish bookkeeping load survives per trace.
+  EXPECT_NEAR(static_cast<double>(loads(s128)),
+              2.0 * static_cast<double>(loads(s256)), 2.0);
+
+  const auto b128 = isa::compute_stats(build_app(App::kMiniBude, 128));
+  const auto b256 = isa::compute_stats(build_app(App::kMiniBude, 256));
+  EXPECT_NEAR(static_cast<double>(vec(b128)) / static_cast<double>(vec(b256)),
+              2.0, 0.04);
+
+  // The scalar apps barely move: TeaLeaf's single axpy vectorises, the rest
+  // of both traces is VL-invariant scalar code.
+  const auto t128 = isa::compute_stats(build_app(App::kTeaLeaf, 128));
+  const auto t256 = isa::compute_stats(build_app(App::kTeaLeaf, 256));
+  EXPECT_EQ(vec(t128), 2 * vec(t256) - 1);  // odd trip count rounds up
+  EXPECT_LT(t128.total - t256.total, t128.total / 10);
+}
+
+TEST(Workloads, OpKindMixMatchesPinnedFingerprint) {
+  // The exact per-group µop mix at VL=128 is part of the model's contract:
+  // the paper's Fig. 1 characterisation, the golden-cycle tests and the
+  // check oracle all assume these traces. Any intentional kernel change
+  // must re-pin these counts (and the golden cycle counts) deliberately.
+  struct Fingerprint {
+    App app;
+    std::uint64_t total, ints, fp, fp_div, vec, pred, load, store, branch, sve;
+  };
+  const Fingerprint expected[] = {
+      {App::kStream, 118787, 16386, 0, 0, 12288, 32768, 24577, 16384, 16384,
+       86016},
+      {App::kMiniBude, 37405, 1873, 0, 0, 23508, 3328, 6968, 64, 1664, 33556},
+      {App::kTeaLeaf, 56337, 6499, 17345, 2, 723, 1444, 18772, 5054, 6498,
+       4333},
+      {App::kMiniSweep, 51975, 4739, 20482, 0, 2, 1024, 16512, 4608, 4608,
+       1538},
+  };
+  for (const Fingerprint& f : expected) {
+    const auto stats = isa::compute_stats(build_app(f.app, 128));
+    const auto g = [&stats](isa::InstrGroup group) {
+      return stats.by_group[static_cast<int>(group)];
+    };
+    EXPECT_EQ(stats.total, f.total) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kInt), f.ints) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kIntMul), 0u) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kFp), f.fp) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kFpDiv), f.fp_div) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kVec), f.vec) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kPred), f.pred) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kLoad), f.load) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kStore), f.store) << app_name(f.app);
+    EXPECT_EQ(g(isa::InstrGroup::kBranch), f.branch) << app_name(f.app);
+    EXPECT_EQ(stats.sve_ops, f.sve) << app_name(f.app);
+  }
+}
+
 TEST(Workloads, DefaultTraceSizesAreCampaignScale) {
   for (App app : all_apps()) {
     const auto size = build_app(app, 128).size();

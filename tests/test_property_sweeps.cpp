@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "check/fuzzer.hpp"
+#include "check/repro.hpp"
+#include "common/check.hpp"
 #include "config/baselines.hpp"
 #include "config/param_space.hpp"
+#include "eval/service.hpp"
 #include "sim/hardware_proxy.hpp"
 #include "sim/simulation.hpp"
 
@@ -117,6 +121,61 @@ INSTANTIATE_TEST_SUITE_P(AllApps, PerAppSweep,
                            return kernels::app_slug(
                                static_cast<kernels::App>(info.param));
                          });
+
+// ---- monotonicity sweeps (adse::check chains with the invariant layer) ----
+// Raising a capacity resource must never cost more than the monotonicity
+// slack on a fixed trace. Chains run with the prefetcher off — with it on,
+// extra in-flight loads legitimately contend with prefetch fills for RAM
+// bandwidth (see src/check/fuzzer.hpp).
+
+config::CpuConfig chain_base() {
+  return check::with_param(config::thunderx2_baseline(),
+                           config::ParamId::kPrefetchDistance, 0.0);
+}
+
+void expect_monotone(const check::ChainResult& chain) {
+  for (const std::string& error : chain.errors) EXPECT_EQ(error, "");
+  const int regression = chain.first_regression();
+  EXPECT_EQ(regression, -1)
+      << config::param_name(chain.param) << " = "
+      << chain.values[static_cast<std::size_t>(regression)] << " took "
+      << chain.cycles[static_cast<std::size_t>(regression)] << " cycles";
+}
+
+TEST(MonotonicitySweep, RobSizeOnStream) {
+  ScopedCheck on(true);
+  eval::EvalService service;  // hermetic (no persistent store)
+  expect_monotone(check::run_chain(service, chain_base(),
+                                   config::ParamId::kRobSize,
+                                   {8, 16, 48, 96, 180, 320, 512},
+                                   kernels::App::kStream));
+}
+
+TEST(MonotonicitySweep, FpRegistersOnStream) {
+  // From the minimum viable 38 (just 6 rename registers) upward.
+  ScopedCheck on(true);
+  eval::EvalService service;
+  expect_monotone(check::run_chain(service, chain_base(),
+                                   config::ParamId::kFpRegisters,
+                                   {38, 48, 64, 128, 256, 512},
+                                   kernels::App::kStream));
+}
+
+TEST(MonotonicitySweep, VectorLengthOnStream) {
+  // Longer vectors retire the same work in fewer µops; with the load/store
+  // paths wide enough for a full 2048-bit vector, cycles must not grow.
+  // (VL changes the trace itself, so this is not a fixed-trace chain — it
+  // checks the work-scaling property instead.)
+  ScopedCheck on(true);
+  eval::EvalService service;
+  config::CpuConfig base = chain_base();
+  base.core.load_bandwidth_bytes = 256;
+  base.core.store_bandwidth_bytes = 256;
+  expect_monotone(check::run_chain(service, base,
+                                   config::ParamId::kVectorLength,
+                                   {128, 256, 512, 1024, 2048},
+                                   kernels::App::kStream));
+}
 
 TEST(PropertySweep, SameSeedSameCyclesAcrossProcessesWouldHold) {
   // In-process determinism across repeated construction (the cross-process
