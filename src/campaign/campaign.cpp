@@ -27,6 +27,12 @@ std::string cycles_column(kernels::App app) {
   return kernels::app_slug(app) + "_cycles";
 }
 
+std::string energy_column(kernels::App app) {
+  return kernels::app_slug(app) + "_energy_j";
+}
+
+std::string area_column() { return "area_mm2"; }
+
 CampaignResult run_campaign(const CampaignSpec& spec,
                             eval::EvalService& service) {
   ADSE_REQUIRE(spec.num_configs >= 1);
@@ -40,6 +46,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   for (kernels::App app : kernels::all_apps()) {
     table.columns.push_back(cycles_column(app));
   }
+  for (kernels::App app : kernels::all_apps()) {
+    table.columns.push_back(energy_column(app));
+  }
+  table.columns.push_back(area_column());
 
   // Independent deterministic stream per configuration index: the campaign
   // is reproducible regardless of how the service schedules the batch.
@@ -88,12 +98,17 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   }
 
   for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = i * static_cast<std::size_t>(kernels::kNumApps);
     for (int a = 0; a < kernels::kNumApps; ++a) {
       table.rows[i].push_back(static_cast<double>(
-          results[i * static_cast<std::size_t>(kernels::kNumApps) +
-                  static_cast<std::size_t>(a)]
-              .cycles()));
+          results[base + static_cast<std::size_t>(a)].cycles()));
     }
+    for (int a = 0; a < kernels::kNumApps; ++a) {
+      table.rows[i].push_back(
+          results[base + static_cast<std::size_t>(a)].run.power.energy_j());
+    }
+    // Area is app-independent; any of the row's runs carries it.
+    table.rows[i].push_back(results[base].run.power.area_mm2);
   }
   return result_from_table(std::move(table));
 }
@@ -127,10 +142,11 @@ CampaignResult load_or_run(const CampaignSpec& spec) {
 CampaignResult result_from_table(CsvTable table) {
   CampaignResult result;
   const auto names = feature_names();
-  ADSE_REQUIRE_MSG(table.columns.size() ==
-                       names.size() + static_cast<std::size_t>(kernels::kNumApps),
-                   "unexpected campaign CSV schema (" << table.columns.size()
-                                                      << " columns)");
+  ADSE_REQUIRE_MSG(
+      table.columns.size() ==
+          names.size() + 2 * static_cast<std::size_t>(kernels::kNumApps) + 1,
+      "unexpected campaign CSV schema (" << table.columns.size()
+                                         << " columns)");
   for (std::size_t i = 0; i < names.size(); ++i) {
     ADSE_REQUIRE_MSG(table.columns[i] == names[i],
                      "campaign CSV column '" << table.columns[i]

@@ -54,6 +54,12 @@ std::vector<std::string> feature_names();
 /// CSV column carrying an app's simulated cycles ("stream_cycles", ...).
 std::string cycles_column(kernels::App app);
 
+/// CSV column carrying an app's total energy ("stream_energy_j", ...).
+std::string energy_column(kernels::App app);
+
+/// CSV column carrying the configuration's static area ("area_mm2").
+std::string area_column();
+
 /// Runs the campaign now (no CSV cache) through `service`.
 CampaignResult run_campaign(const CampaignSpec& spec,
                             eval::EvalService& service);

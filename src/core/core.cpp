@@ -26,6 +26,7 @@ Core::Core(const config::CpuConfig& config, mem::MemoryHierarchy& hierarchy,
              config.backend.pred_ports, config.backend.mix_ports),
       regs_(config.core) {
   config::validate(config_);
+  sve_lanes_ = static_cast<std::uint64_t>(config_.core.vector_length_bits) / 64;
   rob_.resize(static_cast<std::size_t>(config_.core.rob_size));
   rs_.resize(static_cast<std::size_t>(config_.backend.reservation_station_size));
   lq_.resize(static_cast<std::size_t>(config_.core.load_queue_size));
@@ -83,6 +84,7 @@ void Core::complete_rob_entry(std::uint32_t rob_slot) {
   ADSE_REQUIRE_MSG(e.state == RobState::kIssued, "completing unissued op");
   e.state = RobState::kCompleted;
   if (e.dest_cls != isa::RegClass::kNone) {
+    stats_.regfile_writes[static_cast<int>(e.dest_cls)]++;
     wake_consumers(e.dest_cls, e.dest_phys);
   }
   if (e.lsq_index >= 0) {
@@ -117,7 +119,10 @@ void Core::stage_commit() {
     }
     stats_.retired++;
     stats_.retired_by_group[static_cast<int>(e.op->group)]++;
-    if (e.op->is_sve()) stats_.retired_sve++;
+    if (e.op->is_sve()) {
+      stats_.retired_sve++;
+      stats_.sve_lane_ops += sve_lanes_;
+    }
     rob_head_ = (rob_head_ + 1) % static_cast<std::uint32_t>(rob_.size());
     rob_count_--;
     committed++;
@@ -431,6 +436,7 @@ void Core::stage_dispatch() {
       e.src_cls[s] = f.src_cls[s];
       e.src_phys[s] = f.src_phys[s];
       if (f.src_cls[s] == isa::RegClass::kNone) continue;
+      stats_.regfile_reads[static_cast<int>(f.src_cls[s])]++;
       if (!regs_.ready(f.src_cls[s], f.src_phys[s])) {
         regs_.add_waiter(f.src_cls[s], f.src_phys[s], rs_slot);
         e.not_ready++;

@@ -196,6 +196,7 @@ class Core {
   bool mem_send_capped_ = false;    ///< a sendable request hit a cap
   std::uint64_t frontend_flush_until_ = 0;  ///< mispredict redirect (proxy)
   std::uint64_t branch_counter_ = 0;
+  std::uint64_t sve_lanes_ = 2;  ///< 64-bit lanes in the configured VL
 
   // ROB ring buffer.
   std::vector<RobEntry> rob_;

@@ -56,6 +56,11 @@ struct CoreStats {
   std::uint64_t stores_sent = 0;
   std::uint64_t loop_buffer_ops = 0;  ///< µops streamed from the loop buffer
 
+  // Energy-model event counts (adse::power prices these per access).
+  std::uint64_t regfile_reads[isa::kNumRegClasses] = {};   ///< source operands read at dispatch
+  std::uint64_t regfile_writes[isa::kNumRegClasses] = {};  ///< destinations written at completion
+  std::uint64_t sve_lane_ops = 0;  ///< retired SVE µops × 64-bit lanes in the configured VL
+
   double ipc() const {
     return cycles == 0 ? 0.0
                        : static_cast<double>(retired) / static_cast<double>(cycles);

@@ -1,5 +1,9 @@
 #include "dse/pareto.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "common/require.hpp"
 
 namespace adse::dse {
@@ -28,6 +32,77 @@ std::vector<std::size_t> pareto_front(
     if (!dominated) front.push_back(i);
   }
   return front;
+}
+
+namespace {
+
+/// 2-D hypervolume of (x, y) pairs vs (ref_x, ref_y): sort by x and sum the
+/// vertical strips between consecutive x positions, each as tall as the best
+/// y seen so far allows. Handles duplicates (zero-width strips) and points
+/// at/beyond the reference (clipped heights/widths) without special cases.
+double hypervolume_2d(std::vector<std::pair<double, double>> pts, double ref_x,
+                      double ref_y) {
+  std::sort(pts.begin(), pts.end());
+  double hv = 0.0;
+  double min_y = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].first >= ref_x) break;  // sorted: nothing further contributes
+    min_y = std::min(min_y, pts[i].second);
+    const double next_x =
+        (i + 1 < pts.size()) ? std::min(pts[i + 1].first, ref_x) : ref_x;
+    const double height = ref_y - min_y;
+    if (height > 0.0 && next_x > pts[i].first) {
+      hv += (next_x - pts[i].first) * height;
+    }
+  }
+  return hv;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& reference) {
+  const std::size_t dims = reference.size();
+  ADSE_REQUIRE_MSG(dims == 2 || dims == 3,
+                   "hypervolume supports 2 or 3 objectives, got " << dims);
+  for (const auto& p : points) {
+    ADSE_REQUIRE_MSG(p.size() == dims, "objective width mismatch: "
+                                           << p.size() << " vs " << dims);
+  }
+  if (points.empty()) return 0.0;
+
+  if (dims == 2) {
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(points.size());
+    for (const auto& p : points) pts.emplace_back(p[0], p[1]);
+    return hypervolume_2d(std::move(pts), reference[0], reference[1]);
+  }
+
+  // 3-D: sweep the third objective. Between consecutive distinct z levels
+  // the dominated cross-section is constant — the 2-D hypervolume of every
+  // point at or below the lower level — so the volume is an exact sum of
+  // slab × cross-section terms up to the reference.
+  std::vector<double> levels;
+  levels.reserve(points.size());
+  for (const auto& p : points) {
+    if (p[2] < reference[2]) levels.push_back(p[2]);
+  }
+  if (levels.empty()) return 0.0;
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  double hv = 0.0;
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    const double z_low = levels[k];
+    const double z_high = (k + 1 < levels.size()) ? levels[k + 1] : reference[2];
+    std::vector<std::pair<double, double>> slice;
+    for (const auto& p : points) {
+      if (p[2] <= z_low) slice.emplace_back(p[0], p[1]);
+    }
+    hv += (z_high - z_low) *
+          hypervolume_2d(std::move(slice), reference[0], reference[1]);
+  }
+  return hv;
 }
 
 }  // namespace adse::dse

@@ -20,4 +20,14 @@ bool dominates(const std::vector<double>& a, const std::vector<double>& b);
 std::vector<std::size_t> pareto_front(
     const std::vector<std::vector<double>>& objectives);
 
+/// Hypervolume dominated by `points` with respect to `reference`, under
+/// minimisation: the measure of the region every point must beat —
+/// { x : ∃p, p ≤ x ≤ reference }. Exact for 2 objectives (sorted strip
+/// sum) and 3 objectives (plane sweep over the distinct third-coordinate
+/// levels); throws for other widths. Coordinates at or beyond the
+/// reference contribute nothing (clipping), duplicates add nothing, and an
+/// empty point set has hypervolume 0.
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& reference);
+
 }  // namespace adse::dse

@@ -14,6 +14,7 @@
 #include "dse/pareto.hpp"
 #include "eval/service.hpp"
 #include "obs/log.hpp"
+#include "power/power_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -60,8 +61,11 @@ std::vector<EvaluatedConfig> evaluate_batch(
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EvaluatedConfig& e = out[i];
     for (std::size_t a = 0; a < apps.size(); ++a) {
-      e.cycles[static_cast<std::size_t>(apps[a])] =
-          static_cast<double>(results[i * apps.size() + a].cycles());
+      const auto& run = results[i * apps.size() + a].run;
+      const auto app = static_cast<std::size_t>(apps[a]);
+      e.cycles[app] = static_cast<double>(run.core.cycles);
+      e.energy_j[app] = run.power.energy_j();
+      e.area_mm2 = run.power.area_mm2;
     }
     e.objective_value = objective_of(options, e.cycles);
   }
@@ -76,6 +80,57 @@ double to_model_space(const SearchOptions& options, double objective) {
   return std::log(objective);
 }
 
+/// Inverse of to_model_space: maps a surrogate-space value back to the
+/// objective's natural units (where hypervolume is computed).
+double from_model_space(const SearchOptions& options, double value) {
+  return options.log_objective ? std::exp(value) : value;
+}
+
+bool multi_objective(const SearchOptions& options) {
+  return options.objective == Objective::kCyclesEnergyArea;
+}
+
+std::vector<std::vector<double>> ppa_rows(
+    const std::vector<EvaluatedConfig>& evaluated, kernels::App app) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(evaluated.size());
+  for (const EvaluatedConfig& e : evaluated) rows.push_back(e.ppa(app));
+  return rows;
+}
+
+/// The hypervolume reference point of a multi-objective run: the
+/// per-objective maximum over the *seed-batch prefix* of the evaluations,
+/// padded by 20%. Freezing it after the seed batch (instead of tracking the
+/// running maximum) keeps the journal's hypervolume column monotone and
+/// comparable across rounds; later points beyond the reference simply clip
+/// to zero contribution. Deterministic on resume because the prefix is.
+std::vector<double> hv_reference_of(const SearchOptions& options,
+                                    const std::vector<EvaluatedConfig>& evaluated) {
+  const std::size_t n =
+      std::min(evaluated.size(),
+               static_cast<std::size_t>(options.initial_samples));
+  ADSE_REQUIRE_MSG(n > 0, "hypervolume reference needs at least one evaluation");
+  std::vector<double> ref(3, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = evaluated[i].ppa(options.app);
+    for (std::size_t d = 0; d < 3; ++d) ref[d] = std::max(ref[d], p[d]);
+  }
+  for (double& r : ref) {
+    ADSE_REQUIRE_MSG(r > 0.0, "degenerate hypervolume reference");
+    r *= 1.2;
+  }
+  return ref;
+}
+
+/// Dominated hypervolume of everything evaluated so far (multi-objective
+/// runs; 0 with an empty reference).
+double journal_hypervolume(const SearchOptions& options,
+                           const std::vector<EvaluatedConfig>& evaluated,
+                           const std::vector<double>& reference) {
+  if (reference.empty()) return 0.0;
+  return hypervolume(ppa_rows(evaluated, options.app), reference);
+}
+
 ml::Dataset dataset_of(const SearchOptions& options,
                        const std::vector<EvaluatedConfig>& evaluated) {
   ml::Dataset data;
@@ -84,6 +139,23 @@ ml::Dataset dataset_of(const SearchOptions& options,
     const auto features = config::feature_vector(e.config);
     data.add_row({features.begin(), features.end()},
                  to_model_space(options, e.objective_value));
+  }
+  return data;
+}
+
+/// Dataset for the energy surrogate (multi-objective mode): same features,
+/// target = the target app's total energy, in the same model space as the
+/// cycles surrogate (energy spans orders of magnitude for the same reason).
+ml::Dataset energy_dataset_of(const SearchOptions& options,
+                              const std::vector<EvaluatedConfig>& evaluated) {
+  ml::Dataset data;
+  data.feature_names = campaign::feature_names();
+  for (const EvaluatedConfig& e : evaluated) {
+    const auto features = config::feature_vector(e.config);
+    data.add_row(
+        {features.begin(), features.end()},
+        to_model_space(options,
+                       e.energy_j[static_cast<std::size_t>(options.app)]));
   }
   return data;
 }
@@ -119,11 +191,17 @@ CsvTable evaluations_table(const std::vector<EvaluatedConfig>& evaluated) {
   for (kernels::App app : kernels::all_apps()) {
     table.columns.push_back(campaign::cycles_column(app));
   }
+  for (kernels::App app : kernels::all_apps()) {
+    table.columns.push_back(campaign::energy_column(app));
+  }
+  table.columns.push_back(campaign::area_column());
   table.columns.push_back("objective");
   for (const EvaluatedConfig& e : evaluated) {
     const auto features = config::feature_vector(e.config);
     std::vector<double> row(features.begin(), features.end());
     for (double c : e.cycles) row.push_back(c);
+    for (double j : e.energy_j) row.push_back(j);
+    row.push_back(e.area_mm2);
     row.push_back(e.objective_value);
     table.rows.push_back(std::move(row));
   }
@@ -132,8 +210,8 @@ CsvTable evaluations_table(const std::vector<EvaluatedConfig>& evaluated) {
 
 std::vector<EvaluatedConfig> evaluations_from_table(const CsvTable& table) {
   const auto names = campaign::feature_names();
-  const std::size_t expected_cols =
-      names.size() + static_cast<std::size_t>(kernels::kNumApps) + 1;
+  const auto num_apps = static_cast<std::size_t>(kernels::kNumApps);
+  const std::size_t expected_cols = names.size() + 2 * num_apps + 2;
   ADSE_REQUIRE_MSG(table.num_cols() == expected_cols,
                    "unexpected DSE state schema (" << table.num_cols()
                                                    << " columns)");
@@ -151,10 +229,11 @@ std::vector<EvaluatedConfig> evaluations_from_table(const CsvTable& table) {
     EvaluatedConfig e;
     e.config = config::config_from_features(features);
     config::validate(e.config);
-    for (int a = 0; a < kernels::kNumApps; ++a) {
-      e.cycles[static_cast<std::size_t>(a)] = row[config::kNumParams +
-                                                  static_cast<std::size_t>(a)];
+    for (std::size_t a = 0; a < num_apps; ++a) {
+      e.cycles[a] = row[config::kNumParams + a];
+      e.energy_j[a] = row[config::kNumParams + num_apps + a];
     }
+    e.area_mm2 = row[config::kNumParams + 2 * num_apps];
     e.objective_value = row.back();
     out.push_back(std::move(e));
   }
@@ -208,14 +287,14 @@ void check_options(const SearchOptions& options) {
 }
 
 /// Picks this round's batch: `exploit_fraction` of the `k` slots go to the
-/// lowest predicted means, the rest follow the acquisition ranking
-/// (duplicates collapse, acquisition picks fill the gap).
-std::vector<std::size_t> select_batch(
-    const SearchOptions& options,
-    const std::vector<ml::PredictionDistribution>& dists,
-    const std::vector<double>& acquisition, std::size_t k) {
-  std::vector<double> greedy(dists.size());
-  for (std::size_t i = 0; i < dists.size(); ++i) greedy[i] = -dists[i].mean;
+/// highest greedy score, the rest follow the acquisition ranking (duplicates
+/// collapse, acquisition picks fill the gap). Single-objective runs pass
+/// greedy = -predicted mean; multi-objective runs pass the mean-based
+/// hypervolume improvement.
+std::vector<std::size_t> select_batch(const SearchOptions& options,
+                                      const std::vector<double>& greedy,
+                                      const std::vector<double>& acquisition,
+                                      std::size_t k) {
   const auto n_exploit = static_cast<std::size_t>(
       static_cast<double>(k) * options.exploit_fraction);
   std::vector<std::size_t> chosen = top_k_indices(greedy, n_exploit);
@@ -246,7 +325,7 @@ std::vector<config::CpuConfig> distinct_uniform(
 
 RoundRecord make_record(int round, const std::vector<EvaluatedConfig>& evaluated,
                         int pool_size, double oob_mae, double entropy,
-                        double seconds) {
+                        double seconds, double hv) {
   RoundRecord r;
   r.round = round;
   r.sims_total = static_cast<int>(evaluated.size());
@@ -255,6 +334,7 @@ RoundRecord make_record(int round, const std::vector<EvaluatedConfig>& evaluated
   r.surrogate_oob_mae = oob_mae;
   r.acquisition_entropy = entropy;
   r.round_seconds = seconds;
+  r.hypervolume = hv;
   return r;
 }
 
@@ -268,6 +348,7 @@ void publish_round(const RoundRecord& r, std::size_t batch_size) {
   registry.gauge("dse.best_objective").set(r.best_objective);
   registry.gauge("dse.surrogate_oob_mae").set(r.surrogate_oob_mae);
   registry.gauge("dse.acquisition_entropy").set(r.acquisition_entropy);
+  registry.gauge("dse.hypervolume").set(r.hypervolume);
   registry.histogram("dse.round_seconds").observe(r.round_seconds);
 }
 
@@ -315,6 +396,21 @@ std::vector<std::size_t> SearchResult::pareto_between(kernels::App a,
   return pareto_front(objectives);
 }
 
+std::vector<std::vector<double>> SearchResult::ppa_points(
+    kernels::App app) const {
+  return ppa_rows(evaluated, app);
+}
+
+std::vector<std::size_t> SearchResult::pareto_ppa(kernels::App app) const {
+  const auto points = ppa_rows(evaluated, app);
+  for (const auto& p : points) {
+    ADSE_REQUIRE_MSG(p[0] > 0.0 && p[1] > 0.0 && p[2] > 0.0,
+                     "pareto_ppa() needs cycles, energy and area for the app "
+                     "— run the kCyclesEnergyArea mode");
+  }
+  return pareto_front(points);
+}
+
 std::string evaluations_path(const std::string& label) {
   return cache_dir() + "/dse_" + label + "_evals.csv";
 }
@@ -335,7 +431,20 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
   SeenSet simulated;
   for (const EvaluatedConfig& e : result.evaluated) simulated.insert(e.config);
 
+  const bool multi = multi_objective(options);
   ml::RandomForestRegressor surrogate(options.forest);
+  // Second surrogate for the energy objective (multi-objective mode); area
+  // needs no model — it is an exact function of the configuration.
+  ml::RandomForestRegressor energy_surrogate(options.forest);
+  auto refit = [&]() {
+    surrogate.fit(dataset_of(options, result.evaluated));
+    if (multi) {
+      energy_surrogate.fit(energy_dataset_of(options, result.evaluated));
+      if (result.hv_reference.empty()) {
+        result.hv_reference = hv_reference_of(options, result.evaluated);
+      }
+    }
+  };
   int round = 0;
   Stopwatch round_watch;
 
@@ -359,14 +468,15 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
     result.evaluated.insert(result.evaluated.end(),
                             std::make_move_iterator(evaluated.begin()),
                             std::make_move_iterator(evaluated.end()));
-    surrogate.fit(dataset_of(options, result.evaluated));
-    result.journal.rounds.push_back(
-        make_record(round, result.evaluated, static_cast<int>(batch.size()),
-                    surrogate.oob_mae(), 0.0, round_watch.seconds()));
+    refit();
+    result.journal.rounds.push_back(make_record(
+        round, result.evaluated, static_cast<int>(batch.size()),
+        surrogate.oob_mae(), 0.0, round_watch.seconds(),
+        journal_hypervolume(options, result.evaluated, result.hv_reference)));
     publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
   } else if (result.evaluated.size() >= 2) {
-    surrogate.fit(dataset_of(options, result.evaluated));
+    refit();
   }
 
   while (budget_left() > 0) {
@@ -381,22 +491,60 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
         space, options.candidates, incumbents, simulated, rng, constraints);
     ADSE_REQUIRE_MSG(!candidates.empty(), "empty candidate pool");
 
-    // Score: surrogate distribution → acquisition ranking.
+    // Score: surrogate distribution(s) → acquisition ranking.
     std::vector<ml::PredictionDistribution> dists(candidates.size());
+    std::vector<ml::PredictionDistribution> energy_dists(
+        multi ? candidates.size() : 0);
+    std::vector<double> areas(multi ? candidates.size() : 0);
     service.parallel_for(candidates.size(), [&](std::size_t i) {
       const auto features = config::feature_vector(candidates[i]);
       dists[i] = surrogate.predict_dist({features.begin(), features.end()});
+      if (multi) {
+        energy_dists[i] =
+            energy_surrogate.predict_dist({features.begin(), features.end()});
+        areas[i] = power::area_mm2(candidates[i]);
+      }
     });
-    // The incumbent best must live in the same space as the surrogate's
-    // predictions for the improvement gap to mean anything.
-    const double best =
-        to_model_space(options, best_objective(result.evaluated));
-    const auto scores = acquisition_scores(options.acquisition, dists, best);
+    std::vector<double> scores;
+    std::vector<double> greedy(candidates.size());
+    if (multi) {
+      // Hypervolume-improvement acquisition: score each candidate by how
+      // much its predicted (cycles, energy, area) point would grow the
+      // front's dominated hypervolume. The acquisition rank uses an
+      // optimistic mean − β·std prediction per surrogate (the
+      // multi-objective analogue of LCB — a candidate scores high if it
+      // *plausibly* lands in unclaimed objective space); the greedy share
+      // uses the plain means.
+      const auto front = ppa_rows(result.evaluated, options.app);
+      const double base_hv = hypervolume(front, result.hv_reference);
+      const double beta = options.acquisition.beta;
+      scores.resize(candidates.size());
+      service.parallel_for(candidates.size(), [&](std::size_t i) {
+        const auto hvi = [&](double b) {
+          auto pts = front;
+          pts.push_back(
+              {from_model_space(options, dists[i].mean - b * dists[i].std),
+               from_model_space(options,
+                                energy_dists[i].mean - b * energy_dists[i].std),
+               areas[i]});
+          return hypervolume(pts, result.hv_reference) - base_hv;
+        };
+        scores[i] = hvi(beta);
+        greedy[i] = hvi(0.0);
+      });
+    } else {
+      // The incumbent best must live in the same space as the surrogate's
+      // predictions for the improvement gap to mean anything.
+      const double best =
+          to_model_space(options, best_objective(result.evaluated));
+      scores = acquisition_scores(options.acquisition, dists, best);
+      for (std::size_t i = 0; i < dists.size(); ++i) greedy[i] = -dists[i].mean;
+    }
     const double entropy = acquisition_entropy(scores);
 
     // Simulate only this round's batch (greedy + acquisition split).
     const auto top = select_batch(
-        options, dists, scores,
+        options, greedy, scores,
         static_cast<std::size_t>(std::min(options.batch_size, budget_left())));
     std::vector<config::CpuConfig> batch;
     batch.reserve(top.size());
@@ -411,10 +559,11 @@ SearchResult search(const SearchOptions& options, eval::EvalService& service) {
                             std::make_move_iterator(evaluated.end()));
 
     // Refit on the grown dataset and journal the round.
-    surrogate.fit(dataset_of(options, result.evaluated));
-    result.journal.rounds.push_back(
-        make_record(round, result.evaluated, static_cast<int>(candidates.size()),
-                    surrogate.oob_mae(), entropy, watch.seconds()));
+    refit();
+    result.journal.rounds.push_back(make_record(
+        round, result.evaluated, static_cast<int>(candidates.size()),
+        surrogate.oob_mae(), entropy, watch.seconds(),
+        journal_hypervolume(options, result.evaluated, result.hv_reference)));
     publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
 
@@ -457,6 +606,7 @@ SearchResult random_search(const SearchOptions& options,
   SeenSet simulated;
   for (const EvaluatedConfig& e : result.evaluated) simulated.insert(e.config);
 
+  const bool multi = multi_objective(options);
   int round = 0;
   while (static_cast<int>(result.evaluated.size()) < options.max_simulations) {
     Stopwatch watch;
@@ -472,9 +622,18 @@ SearchResult random_search(const SearchOptions& options,
     result.evaluated.insert(result.evaluated.end(),
                             std::make_move_iterator(evaluated.begin()),
                             std::make_move_iterator(evaluated.end()));
-    result.journal.rounds.push_back(
-        make_record(round, result.evaluated, static_cast<int>(batch.size()),
-                    0.0, 0.0, watch.seconds()));
+    // Same freeze-after-seed reference policy as the guided search, so a
+    // random baseline's hypervolume column is monotone and self-consistent
+    // (cross-run comparisons should still recompute both curves against one
+    // shared reference — see bench/10).
+    if (multi && result.hv_reference.empty() &&
+        static_cast<int>(result.evaluated.size()) >= options.initial_samples) {
+      result.hv_reference = hv_reference_of(options, result.evaluated);
+    }
+    result.journal.rounds.push_back(make_record(
+        round, result.evaluated, static_cast<int>(batch.size()), 0.0, 0.0,
+        watch.seconds(),
+        journal_hypervolume(options, result.evaluated, result.hv_reference)));
     publish_round(result.journal.rounds.back(), batch.size());
     persist_state(options, result.evaluated, result.journal);
     ++round;

@@ -38,6 +38,12 @@ enum class Objective {
   /// Minimise the geometric mean of all four applications' cycles (the
   /// balanced-machine objective); per-app cycles are kept for Pareto fronts.
   kGeomeanAllApps,
+  /// Multi-objective PPA mode: minimise (cycles, total energy, area) for the
+  /// target app jointly. Rounds are driven by hypervolume improvement over
+  /// two log-space surrogates (cycles, energy) plus the exact analytical
+  /// area, against a reference point frozen after the seed batch; the
+  /// journal's `hypervolume` column tracks the front's growth.
+  kCyclesEnergyArea,
 };
 
 /// Forest defaults tuned for the search loop: enough trees for a stable
@@ -85,12 +91,21 @@ struct SearchOptions {
   bool persist = true;
 };
 
-/// One simulated configuration. In kSingleApp mode only the target app's
-/// cycles entry is populated (others stay 0).
+/// One simulated configuration. In kSingleApp / kCyclesEnergyArea mode only
+/// the target app's cycles/energy entries are populated (others stay 0).
 struct EvaluatedConfig {
   config::CpuConfig config;
   std::array<double, kernels::kNumApps> cycles{};
+  std::array<double, kernels::kNumApps> energy_j{};  ///< dynamic + leakage
+  double area_mm2 = 0.0;                             ///< static silicon area
   double objective_value = 0.0;
+
+  /// The (cycles, energy, area) objective vector HVI and the Pareto front
+  /// minimise for `app` in kCyclesEnergyArea mode.
+  std::vector<double> ppa(kernels::App app) const {
+    const auto i = static_cast<std::size_t>(app);
+    return {cycles[i], energy_j[i], area_mm2};
+  }
 };
 
 struct SearchResult {
@@ -112,6 +127,19 @@ struct SearchResult {
   /// Pareto front between two apps' cycle counts (kGeomeanAllApps runs
   /// only); returns indices into `evaluated`.
   std::vector<std::size_t> pareto_between(kernels::App a, kernels::App b) const;
+
+  /// Pareto front over (cycles, energy, area) for one app
+  /// (kCyclesEnergyArea runs); returns indices into `evaluated`.
+  std::vector<std::size_t> pareto_ppa(kernels::App app) const;
+
+  /// The (cycles, energy, area) rows `pareto_ppa` and `hypervolume` consume,
+  /// one per evaluation, in simulation order.
+  std::vector<std::vector<double>> ppa_points(kernels::App app) const;
+
+  /// The frozen hypervolume reference point of a kCyclesEnergyArea run
+  /// (empty otherwise). Fixed right after the seed batch so the journal's
+  /// hypervolume column is monotone and comparable across rounds.
+  std::vector<double> hv_reference;
 };
 
 /// Runs the surrogate-guided search; all simulations (and the parallel

@@ -13,7 +13,7 @@ const std::vector<std::string>& journal_columns() {
   static const std::vector<std::string> kColumns = {
       "round",         "sims_total",          "pool_size",
       "best_objective", "surrogate_oob_mae", "acquisition_entropy",
-      "round_seconds"};
+      "round_seconds", "hypervolume"};
   return kColumns;
 }
 
@@ -28,7 +28,7 @@ CsvTable Journal::to_table() const {
                           static_cast<double>(r.sims_total),
                           static_cast<double>(r.pool_size), r.best_objective,
                           r.surrogate_oob_mae, r.acquisition_entropy,
-                          r.round_seconds});
+                          r.round_seconds, r.hypervolume});
   }
   return table;
 }
@@ -49,6 +49,7 @@ Journal Journal::from_table(const CsvTable& table) {
     r.surrogate_oob_mae = row[4];
     r.acquisition_entropy = row[5];
     r.round_seconds = row[6];
+    r.hypervolume = row[7];
     journal.rounds.push_back(r);
   }
   return journal;

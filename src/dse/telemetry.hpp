@@ -24,6 +24,10 @@ struct RoundRecord {
   double surrogate_oob_mae = 0;
   double acquisition_entropy = 0;   ///< ranking entropy over the pool (nats)
   double round_seconds = 0;         ///< wall-clock cost of the round
+  /// Dominated hypervolume of all evaluations so far against the run's
+  /// frozen reference point (multi-objective runs; 0 otherwise). Monotone
+  /// non-decreasing over rounds by construction.
+  double hypervolume = 0;
 };
 
 struct Journal {

@@ -75,6 +75,10 @@ sim::RunResult SurrogateForestBackend::run(const config::CpuConfig& config,
   // one cycle so downstream geomean/log objectives stay well-defined.
   result.core.cycles =
       static_cast<std::uint64_t>(std::llround(std::max(predicted, 1.0)));
+  // Area and leakage are pure functions of the config, so the analytical
+  // model applies exactly even to a surrogate query; dynamic energy needs
+  // event counts the surrogate does not predict and stays zero.
+  result.power = power::analyze(config, result.core, result.mem);
   return result;
 }
 

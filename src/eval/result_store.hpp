@@ -6,13 +6,18 @@
 /// keyed by the 30-feature vector. The format is deliberately dumb and
 /// crash-tolerant:
 ///
-///   header : magic "ADSEVAL1", format version, feature count, record size
+///   header : magic "ADSEVAL2", format version, feature count, record size
 ///   records: fixed-size, each ending in an FNV-1a checksum of its bytes
 ///
 /// A record is published with a single buffered append, so a killed writer
 /// can only ever leave a torn *tail*. The loader verifies each record's
 /// checksum and truncates the file back to the last intact record — a
 /// truncated store loses at most the torn record, never the run.
+///
+/// Format history: v1 ("ADSEVAL1") predates the power model — it lacks the
+/// energy-model counters and the power block. The loader still reads v1
+/// files (new counters decode as 0, power as NaN) and migrates them to v2
+/// in place, so existing campaign caches survive the upgrade.
 
 #include <array>
 #include <cstdint>
@@ -24,17 +29,19 @@
 #include "config/cpu_config.hpp"
 #include "core/core_stats.hpp"
 #include "mem/hierarchy.hpp"
+#include "power/power_model.hpp"
 
 namespace adse::eval {
 
 /// One persisted evaluation: identity (backend tag + app + features) plus
-/// the simulator's full counter blocks.
+/// the simulator's full counter blocks and the power-model result.
 struct StoreRecord {
   std::uint64_t backend_tag = 0;  ///< ResultStore::tag(backend.key())
   std::int32_t app = 0;           ///< kernels::App as int
   std::array<double, config::kNumParams> features{};
   core::CoreStats core;
   mem::MemStats mem;
+  power::PowerResult power;  ///< NaN for records migrated from v1
 };
 
 class ResultStore {
@@ -63,6 +70,13 @@ class ResultStore {
 
   /// On-disk size of one record, for tests and capacity estimates.
   static std::size_t record_bytes();
+
+  /// Writes a v1-format ("ADSEVAL1") store at `path`, dropping the power
+  /// block and the v2-only counters. Exists so the forward-compat
+  /// regression tests (and any external tooling pinned to v1) can fabricate
+  /// old stores; new code always writes v2.
+  static void write_legacy_v1(const std::string& path,
+                              const std::vector<StoreRecord>& records);
 
  private:
   std::string path_;

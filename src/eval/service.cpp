@@ -80,6 +80,16 @@ EvalService::EvalService(EvalOptions options)
       Slot& slot = it->second;
       slot.core = record.core;
       slot.mem = record.mem;
+      slot.power = record.power;
+      if (!slot.power.valid()) {
+        // Record migrated from a pre-power (v1) store: rebuild the config
+        // from its features and re-run the analytical model. Best effort —
+        // area and leakage are exact (pure functions of the config and the
+        // cycle count); dynamic energy misses the v2-only event counters,
+        // which decode as zero.
+        slot.power = power::analyze(config::config_from_features(record.features),
+                                    record.core, record.mem);
+      }
       slot.from_store = true;
       slot.done.store(true, std::memory_order_release);
     }
@@ -125,6 +135,7 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
           chosen.run(request.config, request.app, trace);
       slot->core = fresh.core;
       slot->mem = fresh.mem;
+      slot->power = fresh.power;
       slot->done.store(true, std::memory_order_release);
       ran = true;
     });
@@ -132,7 +143,8 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
       source = ResultSource::kBackend;
       backend_runs_->add(1);
       if (store_ != nullptr && chosen.persistable()) {
-        store_->append({key.tag, key.app, key.features, slot->core, slot->mem});
+        store_->append({key.tag, key.app, key.features, slot->core, slot->mem,
+                        slot->power});
       }
     } else {
       // The once-latch was won by a concurrent identical request; we waited
@@ -150,6 +162,7 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
   out.run.config_name = request.config.name;
   out.run.core = slot->core;
   out.run.mem = slot->mem;
+  out.run.power = slot->power;
   return out;
 }
 

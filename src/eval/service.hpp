@@ -178,6 +178,7 @@ class EvalService {
     bool from_store = false;
     core::CoreStats core;
     mem::MemStats mem;
+    power::PowerResult power;
   };
 
   struct Shard {

@@ -100,6 +100,11 @@ double MemoryHierarchy::tlb_penalty(std::uint64_t addr) {
 std::uint64_t MemoryHierarchy::line_request(std::uint64_t line_addr,
                                             bool is_store, double start) {
   stats_.line_requests++;
+  if (is_store) {
+    stats_.l1_writes++;
+  } else {
+    stats_.l1_reads++;
+  }
 
   // Finite banks (proxy mode): back-to-back accesses to the same bank but a
   // *different* line serialise (subarray turnaround); repeat accesses to the
@@ -153,6 +158,7 @@ std::uint64_t MemoryHierarchy::line_request(std::uint64_t line_addr,
   }
 
   // L2 port + lookup.
+  stats_.l2_reads++;
   double t = std::max(start + l1_lat_core_, l2_free_);
   l2_free_ = t + l2_interval_;
 
@@ -188,6 +194,7 @@ std::uint64_t MemoryHierarchy::line_request(std::uint64_t line_addr,
   // Fill L1; dirty victims write back into L2 (one L2 request slot).
   const Eviction l1_ev = l1_.insert(line_addr, is_store);
   if (l1_ev.evicted && l1_ev.dirty) {
+    stats_.l2_writes++;
     l2_.insert(l1_ev.line_addr, true);
     l2_free_ += l2_interval_;
   }
@@ -243,6 +250,7 @@ void MemoryHierarchy::prefetch_after_miss(std::uint64_t line_addr,
     if (fidelity_.prefetch_into_l1) {
       const Eviction l1_ev = l1_.insert(pf, false);
       if (l1_ev.evicted && l1_ev.dirty) {
+        stats_.l2_writes++;
         l2_.insert(l1_ev.line_addr, true);
         l2_free_ += l2_interval_;
       }
@@ -273,6 +281,7 @@ void MemoryHierarchy::issue_prefetch_line(std::uint64_t line_addr,
   }
   const Eviction l1_ev = l1_.insert(line_addr, false);
   if (l1_ev.evicted && l1_ev.dirty) {
+    stats_.l2_writes++;
     l2_.insert(l1_ev.line_addr, true);
     l2_free_ += l2_interval_;
   }

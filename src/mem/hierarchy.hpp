@@ -74,6 +74,14 @@ struct MemStats {
   std::uint64_t l1_misses = 0;
   std::uint64_t l2_hits = 0;
   std::uint64_t l2_misses = 0;
+  // Read/write splits per level, for the energy model (a write access costs
+  // more than a read in SRAM). l1_reads + l1_writes == line_requests;
+  // l2_reads counts demand lookups after an L1 miss, l2_writes counts dirty
+  // L1 victims written back into L2.
+  std::uint64_t l1_reads = 0;
+  std::uint64_t l1_writes = 0;
+  std::uint64_t l2_reads = 0;
+  std::uint64_t l2_writes = 0;
   std::uint64_t ram_requests = 0;
   std::uint64_t dirty_writebacks = 0;
   std::uint64_t prefetch_fills = 0;

@@ -1,0 +1,158 @@
+#include "power/power_model.hpp"
+
+#include "common/require.hpp"
+#include "isa/microop.hpp"
+
+namespace adse::power {
+
+namespace {
+
+constexpr double kPjToJ = 1.0e-12;
+
+/// Relative lane count: 1.0 at the architectural minimum VL of 128 bits.
+double relative_lanes(int vector_length_bits) {
+  return static_cast<double>(vector_length_bits) / 128.0;
+}
+
+}  // namespace
+
+double vector_wiring_factor(int vector_length_bits) {
+  return 1.0 + kVectorWiringFactor * (relative_lanes(vector_length_bits) - 1.0);
+}
+
+double l1_read_energy_pj(const config::MemParams& mem) {
+  return kL1ReadPjBase * std::sqrt(static_cast<double>(mem.l1_size_kib) / 32.0) *
+         (static_cast<double>(mem.cache_line_bytes) / 64.0) *
+         (1.0 + kCacheWayEnergyFactor * mem.l1_assoc);
+}
+
+double l2_read_energy_pj(const config::MemParams& mem) {
+  return kL2ReadPjBase *
+         std::sqrt(static_cast<double>(mem.l2_size_kib) / 256.0) *
+         (static_cast<double>(mem.cache_line_bytes) / 64.0) *
+         (1.0 + kCacheWayEnergyFactor * mem.l2_assoc);
+}
+
+AreaBreakdown area_breakdown(const config::CpuConfig& config) {
+  const config::CoreParams& c = config.core;
+  const config::MemParams& m = config.mem;
+  AreaBreakdown a;
+
+  a.base = kCoreBaseMm2;
+  a.rob = kRobEntryMm2 * c.rob_size;
+  a.lsq = kLsqEntryMm2 * (c.load_queue_size + c.store_queue_size);
+
+  // Register files: flat cells for GP/NZCV, VL-wide bit arrays for FP/SVE
+  // and predicates, all scaled by the port count the configured pipe widths
+  // imply (up to 2 reads per renamed µop, 1 write per committed µop).
+  const double read_ports = 2.0 * c.frontend_width;
+  const double write_ports = static_cast<double>(c.commit_width);
+  const double port_factor =
+      1.0 + kRegfilePortAreaFactor * (read_ports + write_ports);
+  const double cells =
+      kGpRegMm2 * c.gp_phys_regs + kCondRegMm2 * c.cond_phys_regs +
+      kVectorRegMm2PerBit * c.vector_length_bits * c.fp_phys_regs +
+      kVectorRegMm2PerBit * (c.vector_length_bits / 8.0) * c.pred_phys_regs;
+  a.regfile = cells * port_factor;
+
+  a.frontend = kFetchByteMm2 * c.fetch_block_bytes +
+               kLoopBufferOpMm2 * c.loop_buffer_size +
+               kPipeWidthMm2 * (c.frontend_width + c.commit_width +
+                                c.lsq_completion_width);
+
+  // The superlinear SIMD term: each vector port carries a VL-wide datapath
+  // whose wiring/bypass area grows faster than the lane count.
+  a.vector_datapath =
+      kVectorPortMm2 * config.backend.vec_ports *
+      std::pow(relative_lanes(c.vector_length_bits), kVectorAreaExponent);
+
+  a.l1 = kSramMm2PerKib * m.l1_size_kib *
+         (1.0 + kCacheTagFactorPerWay * m.l1_assoc);
+  a.l2 = kSramMm2PerKib * m.l2_size_kib *
+         (1.0 + kCacheTagFactorPerWay * m.l2_assoc);
+  return a;
+}
+
+double area_mm2(const config::CpuConfig& config) {
+  return area_breakdown(config).total();
+}
+
+double leakage_watts(const config::CpuConfig& config) {
+  return kLeakageWattsPerMm2 * area_mm2(config);
+}
+
+EnergyBreakdown dynamic_breakdown(const config::CpuConfig& config,
+                                  const core::CoreStats& core,
+                                  const mem::MemStats& mem) {
+  const config::CoreParams& c = config.core;
+  EnergyBreakdown e;
+
+  // ROB: one write at dispatch, one read at commit, both scaled by the
+  // array's height (longer bitlines in a bigger buffer).
+  const double rob_scale = std::sqrt(static_cast<double>(c.rob_size) / 180.0);
+  e.rob = kPjToJ * rob_scale *
+          (kRobWritePj + kRobReadPj) * static_cast<double>(core.retired);
+
+  // Register files, per class. FP/predicate accesses move VL-proportional
+  // bits and pay the same wiring factor as the execution lanes.
+  const double wiring = vector_wiring_factor(c.vector_length_bits);
+  const double fp_bits = static_cast<double>(c.vector_length_bits);
+  const double pred_bits = fp_bits / 8.0;
+  const double read_pj[isa::kNumRegClasses] = {
+      kGpRegReadPj, kVectorRegPjPerBit * fp_bits * wiring,
+      kVectorRegPjPerBit * pred_bits * wiring, kCondRegReadPj};
+  const double write_pj[isa::kNumRegClasses] = {
+      kGpRegWritePj, kVectorRegPjPerBit * fp_bits * wiring * kRegWriteFactor,
+      kVectorRegPjPerBit * pred_bits * wiring * kRegWriteFactor,
+      kCondRegWritePj};
+  double regfile_pj = 0;
+  for (int cls = 0; cls < isa::kNumRegClasses; ++cls) {
+    regfile_pj += read_pj[cls] * static_cast<double>(core.regfile_reads[cls]);
+    regfile_pj += write_pj[cls] * static_cast<double>(core.regfile_writes[cls]);
+  }
+  e.regfile = kPjToJ * regfile_pj;
+
+  // SVE execution: per-lane energy rises with VL, so at fixed total lane
+  // work a wider engine costs more — the dynamic half of the Pareto knee.
+  e.vector_datapath = kPjToJ * kSveLaneOpPj * wiring *
+                      static_cast<double>(core.sve_lane_ops);
+
+  const double lsq_scale = std::sqrt(
+      static_cast<double>(c.load_queue_size + c.store_queue_size) / 100.0);
+  e.lsq = kPjToJ * kLsqSearchPj * lsq_scale *
+          static_cast<double>(core.loads_sent + core.stores_sent +
+                              core.loads_forwarded);
+
+  e.frontend = kPjToJ * kFrontendOpPj * static_cast<double>(core.retired);
+  e.wakeup = kPjToJ * kWakeupPj * static_cast<double>(core.rs_wakeups);
+
+  const double l1_read = l1_read_energy_pj(config.mem);
+  const double l2_read = l2_read_energy_pj(config.mem);
+  e.l1 = kPjToJ * l1_read *
+         (static_cast<double>(mem.l1_reads) +
+          kCacheWriteFactor * static_cast<double>(mem.l1_writes));
+  e.l2 = kPjToJ * l2_read *
+         (static_cast<double>(mem.l2_reads) +
+          kCacheWriteFactor * static_cast<double>(mem.l2_writes));
+
+  // DRAM traffic moves whole lines, demand fills and dirty writebacks alike.
+  e.ram = kPjToJ * kRamPjPerByte *
+          static_cast<double>(config.mem.cache_line_bytes) *
+          static_cast<double>(mem.ram_requests + mem.dirty_writebacks);
+  return e;
+}
+
+PowerResult analyze(const config::CpuConfig& config,
+                    const core::CoreStats& core, const mem::MemStats& mem) {
+  PowerResult r;
+  r.area_mm2 = area_mm2(config);
+  const double seconds = static_cast<double>(core.cycles) /
+                         (config::kCoreClockGhz * 1.0e9);
+  r.leakage_j = kLeakageWattsPerMm2 * r.area_mm2 * seconds;
+  r.dynamic_j = dynamic_breakdown(config, core, mem).total();
+  ADSE_REQUIRE_MSG(r.dynamic_j >= 0.0 && r.leakage_j >= 0.0,
+                   "negative energy from power model");
+  return r;
+}
+
+}  // namespace adse::power

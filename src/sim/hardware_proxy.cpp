@@ -38,6 +38,7 @@ RunResult simulate_hardware(const config::CpuConfig& config,
   result.config_name = hw.name;
   result.core = core.run(program);
   result.mem = hierarchy.stats();
+  result.power = power::analyze(hw, result.core, result.mem);
   validate_result(result, program);
   return result;
 }

@@ -20,6 +20,7 @@ RunResult simulate(const config::CpuConfig& config,
   result.config_name = config.name;
   result.core = core.run(program);
   result.mem = hierarchy.stats();
+  result.power = power::analyze(config, result.core, result.mem);
   validate_result(result, program);
   if (CheckContext::enabled()) {
     // Cross-component conservation the per-cycle core checks cannot see:
@@ -42,8 +43,37 @@ RunResult simulate(const config::CpuConfig& config,
       obs::Registry::global().counter("sim.simulations");
   static obs::Counter& simulated_cycles =
       obs::Registry::global().counter("sim.simulated_cycles");
+  // Energy-model event counters, exported once per run (coarse adds, same
+  // no-hot-loop rule as above) so the JSON snapshot carries everything
+  // adse::power prices.
+  static obs::Counter& regfile_reads =
+      obs::Registry::global().counter("sim.regfile_reads");
+  static obs::Counter& regfile_writes =
+      obs::Registry::global().counter("sim.regfile_writes");
+  static obs::Counter& sve_lane_ops =
+      obs::Registry::global().counter("sim.sve_lane_ops");
+  static obs::Counter& l1_reads =
+      obs::Registry::global().counter("sim.l1_reads");
+  static obs::Counter& l1_writes =
+      obs::Registry::global().counter("sim.l1_writes");
+  static obs::Counter& l2_reads =
+      obs::Registry::global().counter("sim.l2_reads");
+  static obs::Counter& l2_writes =
+      obs::Registry::global().counter("sim.l2_writes");
   simulations.add(1);
   simulated_cycles.add(result.core.cycles);
+  std::uint64_t rf_reads = 0, rf_writes = 0;
+  for (int c = 0; c < isa::kNumRegClasses; ++c) {
+    rf_reads += result.core.regfile_reads[c];
+    rf_writes += result.core.regfile_writes[c];
+  }
+  regfile_reads.add(rf_reads);
+  regfile_writes.add(rf_writes);
+  sve_lane_ops.add(result.core.sve_lane_ops);
+  l1_reads.add(result.mem.l1_reads);
+  l1_writes.add(result.mem.l1_writes);
+  l2_reads.add(result.mem.l2_reads);
+  l2_writes.add(result.mem.l2_writes);
   return result;
 }
 

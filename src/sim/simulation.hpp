@@ -11,6 +11,7 @@
 #include "isa/program.hpp"
 #include "kernels/workloads.hpp"
 #include "mem/hierarchy.hpp"
+#include "power/power_model.hpp"
 
 namespace adse::sim {
 
@@ -20,8 +21,12 @@ struct RunResult {
   std::string config_name;
   core::CoreStats core;
   mem::MemStats mem;
+  /// Analytical power/area for this run (adse::power). NaN for results
+  /// loaded from a pre-power (v1) eval store.
+  power::PowerResult power;
 
   std::uint64_t cycles() const { return core.cycles; }
+  double energy_j() const { return power.energy_j(); }
 };
 
 /// Runs `program` on `config` with the campaign-fidelity simulator

@@ -78,7 +78,21 @@ std::string render_stats(const RunResult& result) {
   memory.add_row({"DRAM requests", grouped(result.mem.ram_requests)});
   memory.add_row({"dirty writebacks", grouped(result.mem.dirty_writebacks)});
   memory.add_row({"prefetch fills", grouped(result.mem.prefetch_fills)});
-  os << "memory hierarchy:\n" << memory.render();
+  os << "memory hierarchy:\n" << memory.render() << '\n';
+
+  TextTable power({"power/area", "value"});
+  if (result.power.valid()) {
+    power.add_row({"area (mm²)", format_fixed(result.power.area_mm2, 3)});
+    power.add_row(
+        {"dynamic energy (mJ)", format_fixed(result.power.dynamic_j * 1e3, 4)});
+    power.add_row(
+        {"leakage energy (mJ)", format_fixed(result.power.leakage_j * 1e3, 4)});
+    power.add_row(
+        {"total energy (mJ)", format_fixed(result.power.energy_j() * 1e3, 4)});
+  } else {
+    power.add_row({"area (mm²)", "n/a (pre-power result)"});
+  }
+  os << "power/area model:\n" << power.render();
   return os.str();
 }
 

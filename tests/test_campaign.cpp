@@ -32,11 +32,23 @@ TEST(Campaign, CyclesColumnNames) {
   EXPECT_EQ(cycles_column(kernels::App::kMiniSweep), "minisweep_cycles");
 }
 
+TEST(Campaign, PowerColumnNames) {
+  EXPECT_EQ(energy_column(kernels::App::kStream), "stream_energy_j");
+  EXPECT_EQ(energy_column(kernels::App::kMiniBude), "minibude_energy_j");
+  EXPECT_EQ(area_column(), "area_mm2");
+}
+
 TEST(Campaign, RunProducesConsistentDatasets) {
   const CampaignResult result = run_campaign(tiny_spec());
   EXPECT_EQ(result.table.num_rows(), 12u);
+  // 30 features + per-app cycles + per-app energy + area.
   EXPECT_EQ(result.table.num_cols(),
-            config::kNumParams + static_cast<std::size_t>(kernels::kNumApps));
+            config::kNumParams +
+                2 * static_cast<std::size_t>(kernels::kNumApps) + 1);
+  for (double j : result.table.column(energy_column(kernels::App::kStream))) {
+    EXPECT_GT(j, 0.0);
+  }
+  for (double a : result.table.column(area_column())) EXPECT_GT(a, 0.0);
   for (kernels::App app : kernels::all_apps()) {
     const auto& ds = result.dataset(app);
     EXPECT_EQ(ds.num_rows(), 12u);

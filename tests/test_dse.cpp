@@ -114,6 +114,68 @@ TEST(Pareto, DuplicatesAllSurvive) {
   EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1}));
 }
 
+// --- hypervolume ------------------------------------------------------------
+
+TEST(Hypervolume, TwoDExactRectanglesAndUnions) {
+  const std::vector<double> ref{4, 4};
+  // One point: a single rectangle up to the reference.
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 2}}, ref), 4.0);
+  // Staircase of two trade-off points: 2x3 + 1x1 strips.
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 1}, {1, 3}}, ref), 7.0);
+  // A dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 1}, {1, 3}, {3, 3}}, ref), 7.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, ref), 0.0);
+}
+
+TEST(Hypervolume, DuplicatesAddNothing) {
+  const std::vector<double> ref{4, 4};
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 2}, {2, 2}, {2, 2}}, ref), 4.0);
+  const std::vector<double> ref3{4, 4, 4};
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 2, 2}, {2, 2, 2}}, ref3), 8.0);
+}
+
+TEST(Hypervolume, ReferenceClipping) {
+  const std::vector<double> ref{4, 4};
+  // At or beyond the reference in any coordinate: zero contribution.
+  EXPECT_DOUBLE_EQ(hypervolume({{4, 1}}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 5}}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{5, 5}}, ref), 0.0);
+  // A clipped point must not shrink what the others dominate.
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 2}, {9, 1}}, ref), 4.0);
+}
+
+TEST(Hypervolume, ThreeDExactBoxesAndSweep) {
+  const std::vector<double> ref{4, 4, 4};
+  EXPECT_DOUBLE_EQ(hypervolume({{2, 2, 2}}, ref), 8.0);
+  // Two disjointly-dominating points: inclusion-exclusion by hand.
+  // A=(1,3,3): box 3x1x1 = 3;  B=(3,1,1): box 1x3x3 = 9;
+  // overlap = (4-3)x(4-3)x(4-3) = 1  ->  union = 11.
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 3, 3}, {3, 1, 1}}, ref), 11.0);
+  // Dominated point adds nothing in 3-D either.
+  EXPECT_DOUBLE_EQ(hypervolume({{1, 3, 3}, {3, 1, 1}, {3, 3, 3}}, ref), 11.0);
+}
+
+TEST(Hypervolume, MonotoneInAddedPoints) {
+  const std::vector<double> ref{10, 10, 10};
+  std::vector<std::vector<double>> points;
+  Rng rng(11);
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.uniform_real(0.0, 12.0), rng.uniform_real(0.0, 12.0),
+                      rng.uniform_real(0.0, 12.0)});
+    const double hv = hypervolume(points, ref);
+    EXPECT_GE(hv, prev - 1e-12);
+    EXPECT_LE(hv, 1000.0 + 1e-9);  // bounded by the reference box
+    prev = hv;
+  }
+}
+
+TEST(Hypervolume, RejectsUnsupportedWidths) {
+  EXPECT_THROW(hypervolume({{1}}, {4}), InvariantError);
+  EXPECT_THROW(hypervolume({{1, 2, 3, 4}}, {5, 5, 5, 5}), InvariantError);
+  EXPECT_THROW(hypervolume({{1, 2}}, {4, 4, 4}), InvariantError);
+}
+
 // --- candidates -------------------------------------------------------------
 
 TEST(Candidates, SeenSetDeduplicates) {
@@ -328,6 +390,83 @@ TEST(Search, MultiObjectiveModeKeepsPerAppCyclesAndPareto) {
   }
   const auto refined = pareto_front(front_points);
   EXPECT_EQ(refined.size(), front_points.size());
+}
+
+TEST(Search, PpaModeFillsEnergyAreaAndGrowsHypervolume) {
+  SearchOptions options = smoke_options();
+  options.objective = Objective::kCyclesEnergyArea;
+  options.max_simulations = 20;
+  options.initial_samples = 10;
+  options.batch_size = 5;
+  const SearchResult result = search(options);
+  EXPECT_EQ(result.evaluated.size(), 20u);
+
+  const auto app = static_cast<std::size_t>(options.app);
+  for (const auto& e : result.evaluated) {
+    EXPECT_GT(e.cycles[app], 0.0);
+    EXPECT_GT(e.energy_j[app], 0.0);
+    EXPECT_GT(e.area_mm2, 0.0);
+    EXPECT_DOUBLE_EQ(e.objective_value, e.cycles[app]);  // incumbent metric
+    ASSERT_EQ(e.ppa(options.app).size(), 3u);
+  }
+
+  // Reference frozen after the seed batch: covers (with 20% pad) every seed
+  // point, and the journal's hypervolume column is monotone non-decreasing
+  // with a positive final value.
+  ASSERT_EQ(result.hv_reference.size(), 3u);
+  for (int i = 0; i < 10; ++i) {
+    const auto p = result.evaluated[static_cast<std::size_t>(i)].ppa(options.app);
+    for (std::size_t d = 0; d < 3; ++d) EXPECT_LT(p[d], result.hv_reference[d]);
+  }
+  ASSERT_GE(result.journal.rounds.size(), 2u);
+  double prev = 0.0;
+  for (const auto& r : result.journal.rounds) {
+    EXPECT_GE(r.hypervolume, prev * (1.0 - 1e-12));
+    prev = r.hypervolume;
+  }
+  EXPECT_GT(result.journal.rounds.back().hypervolume, 0.0);
+  EXPECT_DOUBLE_EQ(
+      result.journal.rounds.back().hypervolume,
+      hypervolume(result.ppa_points(options.app), result.hv_reference));
+
+  // The front is non-empty and mutually non-dominated.
+  const auto front = result.pareto_ppa(options.app);
+  EXPECT_GE(front.size(), 1u);
+  std::vector<std::vector<double>> front_points;
+  for (std::size_t idx : front) {
+    front_points.push_back(result.evaluated[idx].ppa(options.app));
+  }
+  EXPECT_EQ(pareto_front(front_points).size(), front_points.size());
+}
+
+TEST(Search, PpaModeRandomBaselineRecordsHypervolume) {
+  SearchOptions options = smoke_options();
+  options.objective = Objective::kCyclesEnergyArea;
+  options.max_simulations = 16;
+  options.initial_samples = 8;
+  options.batch_size = 8;
+  const SearchResult result = random_search(options);
+  EXPECT_EQ(result.evaluated.size(), 16u);
+  ASSERT_EQ(result.hv_reference.size(), 3u);
+  ASSERT_FALSE(result.journal.rounds.empty());
+  EXPECT_GT(result.journal.rounds.back().hypervolume, 0.0);
+}
+
+TEST(Search, SingleObjectiveModeRejectsPpaFront) {
+  const SearchResult result = search(smoke_options());
+  EXPECT_TRUE(result.hv_reference.empty());
+  for (const auto& r : result.journal.rounds) {
+    EXPECT_DOUBLE_EQ(r.hypervolume, 0.0);
+  }
+  // Energy/area are recorded even in single-objective mode (the eval
+  // results carry them for free), so pareto_ppa still works for the target
+  // app — but the untargeted apps' columns stay empty.
+  for (const auto& e : result.evaluated) {
+    EXPECT_GT(e.energy_j[static_cast<std::size_t>(kernels::App::kStream)], 0.0);
+    EXPECT_DOUBLE_EQ(
+        e.energy_j[static_cast<std::size_t>(kernels::App::kMiniBude)], 0.0);
+  }
+  EXPECT_THROW(result.pareto_ppa(kernels::App::kMiniBude), InvariantError);
 }
 
 TEST(Search, SingleAppModeRejectsPareto) {

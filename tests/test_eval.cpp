@@ -220,6 +220,123 @@ TEST(EvalService, SurrogateBackendIsNotPersisted) {
   std::filesystem::remove_all(dir);
 }
 
+// --- store format compatibility ---------------------------------------------
+
+StoreRecord sample_record(int app, double feature0, std::uint64_t cycles) {
+  StoreRecord r;
+  r.backend_tag = ResultStore::tag("sim");
+  r.app = app;
+  r.features = config::feature_vector(config::thunderx2_baseline());
+  r.features[0] = feature0;
+  r.core.cycles = cycles;
+  r.core.retired = 42;
+  r.core.sve_lane_ops = 7;  // v2-only counter: dropped by a v1 writer
+  r.mem.l1_hits = 9;
+  r.mem.l1_reads = 6;  // v2-only counter
+  r.power.dynamic_j = 1.5e-6;
+  r.power.leakage_j = 2.5e-7;
+  r.power.area_mm2 = 3.25;
+  return r;
+}
+
+TEST(ResultStoreCompat, V1FilesLoadCleanlyWithNanPower) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_store_v1";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "eval_store.bin").string();
+
+  ResultStore::write_legacy_v1(path,
+                               {sample_record(0, 128, 1000),
+                                sample_record(1, 256, 2000)});
+
+  ResultStore store(path);
+  ASSERT_EQ(store.loaded().size(), 2u);
+  const StoreRecord& a = store.loaded()[0];
+  EXPECT_EQ(a.core.cycles, 1000u);
+  EXPECT_EQ(a.core.retired, 42u);
+  EXPECT_EQ(a.mem.l1_hits, 9u);
+  // v2-only counters and the power block do not exist in v1: zeros / NaN.
+  EXPECT_EQ(a.core.sve_lane_ops, 0u);
+  EXPECT_EQ(a.mem.l1_reads, 0u);
+  EXPECT_FALSE(a.power.valid());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreCompat, V1StoreMigratesToV2InPlace) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_store_mig";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "eval_store.bin").string();
+
+  ResultStore::write_legacy_v1(path, {sample_record(0, 128, 1000)});
+  { ResultStore migrating(path); }  // open rewrites the file as v2
+
+  // The migrated file must now carry the v2 magic and fixed record size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[8] = {};
+  ASSERT_EQ(std::fread(magic, 1, 8, f), 8u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic, 8), "ADSEVAL2");
+  // Header = 8-byte magic + 3 uint32 fields; then one fixed-size v2 record.
+  EXPECT_EQ(std::filesystem::file_size(path),
+            8 + 3 * sizeof(std::uint32_t) + ResultStore::record_bytes());
+
+  // And a mixed-version life cycle round-trips: append a v2 record to the
+  // migrated store, reopen, and both generations coexist.
+  {
+    ResultStore store(path);
+    ASSERT_EQ(store.loaded().size(), 1u);
+    EXPECT_FALSE(store.loaded()[0].power.valid());
+    store.append(sample_record(2, 512, 3000));
+  }
+  ResultStore reopened(path);
+  ASSERT_EQ(reopened.loaded().size(), 2u);
+  EXPECT_FALSE(reopened.loaded()[0].power.valid());  // migrated, still NaN
+  const StoreRecord& fresh = reopened.loaded()[1];
+  ASSERT_TRUE(fresh.power.valid());
+  EXPECT_DOUBLE_EQ(fresh.power.dynamic_j, 1.5e-6);
+  EXPECT_DOUBLE_EQ(fresh.power.leakage_j, 2.5e-7);
+  EXPECT_DOUBLE_EQ(fresh.power.area_mm2, 3.25);
+  EXPECT_EQ(fresh.core.sve_lane_ops, 7u);
+  EXPECT_EQ(fresh.mem.l1_reads, 6u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreCompat, ServiceRecomputesPowerForMigratedRecords) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_store_pw";
+  std::filesystem::remove_all(dir);
+  const std::string store_path = (dir / "eval_store.bin").string();
+
+  // Warm a v2 store with one real simulation, then strip it back to v1.
+  {
+    EvalService service(hermetic(1, store_path));
+    service.evaluate_one(stream_request());
+  }
+  std::vector<StoreRecord> records;
+  {
+    ResultStore store(store_path);
+    records = store.loaded();
+  }
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_TRUE(records[0].power.valid());
+  const double true_area = records[0].power.area_mm2;
+  ResultStore::write_legacy_v1(store_path, records);
+
+  // A service warming from the v1 file serves the run with power
+  // recomputed: area/leakage are exact functions of config and cycles.
+  EvalService warm(hermetic(1, store_path));
+  const EvalResult served = warm.evaluate_one(stream_request());
+  EXPECT_EQ(served.source, ResultSource::kStore);
+  ASSERT_TRUE(served.run.power.valid());
+  EXPECT_DOUBLE_EQ(served.run.power.area_mm2, true_area);
+  EXPECT_GT(served.run.power.leakage_j, 0.0);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EvalService, ProxyKeyEncodesFidelityKnobs) {
   const HardwareProxyBackend defaults;
   sim::ProxyOptions tweaked;

@@ -1,0 +1,207 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "config/cpu_config.hpp"
+
+namespace adse::power {
+namespace {
+
+/// The model must be reproducible by hand from the constants in the header
+/// (that is the point of exposing them): these tests re-derive the expected
+/// numbers independently, term by term, instead of calling back into the
+/// implementation.
+
+config::CpuConfig default_config() { return config::CpuConfig{}; }
+
+/// A deliberately different second design: wide vectors, big caches, deep
+/// window — the "wide corner" of the Pareto front.
+config::CpuConfig wide_config() {
+  config::CpuConfig c;
+  c.core.vector_length_bits = 1024;
+  c.core.rob_size = 512;
+  c.core.fp_phys_regs = 256;
+  c.mem.l1_size_kib = 128;
+  c.mem.l2_size_kib = 2048;
+  return c;
+}
+
+TEST(PowerArea, HandComputedDefaultConfig) {
+  const config::CpuConfig c = default_config();
+  const AreaBreakdown a = area_breakdown(c);
+
+  EXPECT_DOUBLE_EQ(a.base, kCoreBaseMm2);
+  EXPECT_DOUBLE_EQ(a.rob, kRobEntryMm2 * 180);
+  EXPECT_DOUBLE_EQ(a.lsq, kLsqEntryMm2 * (64 + 36));
+
+  // Regfile: 2 read ports per frontend lane (4) + 1 write port per commit
+  // lane (4) -> port factor 1 + 0.08 * 12; cells are GP + NZCV flat arrays
+  // plus VL-wide FP and VL/8-wide predicate bit arrays.
+  const double port_factor = 1.0 + kRegfilePortAreaFactor * (2.0 * 4 + 4);
+  const double cells = kGpRegMm2 * 128 + kCondRegMm2 * 32 +
+                       kVectorRegMm2PerBit * 128.0 * 128 +
+                       kVectorRegMm2PerBit * (128.0 / 8.0) * 48;
+  EXPECT_DOUBLE_EQ(a.regfile, cells * port_factor);
+
+  EXPECT_DOUBLE_EQ(a.frontend, kFetchByteMm2 * 32 + kLoopBufferOpMm2 * 32 +
+                                   kPipeWidthMm2 * (4 + 4 + 2));
+
+  // VL = 128 is the architectural minimum: relative lane count 1, so the
+  // superlinear exponent is invisible and the datapath is ports * base.
+  EXPECT_DOUBLE_EQ(a.vector_datapath, kVectorPortMm2 * 2);
+
+  EXPECT_DOUBLE_EQ(a.l1,
+                   kSramMm2PerKib * 32 * (1.0 + kCacheTagFactorPerWay * 8));
+  EXPECT_DOUBLE_EQ(a.l2,
+                   kSramMm2PerKib * 256 * (1.0 + kCacheTagFactorPerWay * 8));
+
+  EXPECT_DOUBLE_EQ(area_mm2(c), a.total());
+  EXPECT_DOUBLE_EQ(leakage_watts(c), kLeakageWattsPerMm2 * a.total());
+  // Sanity anchor: a modest OoO core with 32K/256K caches lands in the
+  // low-single-digit mm2 range, not 0.1 and not 100.
+  EXPECT_GT(a.total(), 1.0);
+  EXPECT_LT(a.total(), 5.0);
+}
+
+TEST(PowerArea, HandComputedWideConfig) {
+  const config::CpuConfig c = wide_config();
+  const AreaBreakdown a = area_breakdown(c);
+
+  EXPECT_DOUBLE_EQ(a.rob, kRobEntryMm2 * 512);
+  // VL 1024 = 8 relative lanes; the datapath pays 8^1.35, not 8.
+  EXPECT_DOUBLE_EQ(a.vector_datapath,
+                   kVectorPortMm2 * 2 * std::pow(8.0, kVectorAreaExponent));
+  EXPECT_GT(a.vector_datapath, kVectorPortMm2 * 2 * 8.0);  // superlinear
+
+  const double port_factor = 1.0 + kRegfilePortAreaFactor * (2.0 * 4 + 4);
+  const double cells = kGpRegMm2 * 128 + kCondRegMm2 * 32 +
+                       kVectorRegMm2PerBit * 1024.0 * 256 +
+                       kVectorRegMm2PerBit * (1024.0 / 8.0) * 48;
+  EXPECT_DOUBLE_EQ(a.regfile, cells * port_factor);
+
+  EXPECT_DOUBLE_EQ(a.l1,
+                   kSramMm2PerKib * 128 * (1.0 + kCacheTagFactorPerWay * 8));
+  EXPECT_DOUBLE_EQ(a.l2,
+                   kSramMm2PerKib * 2048 * (1.0 + kCacheTagFactorPerWay * 8));
+}
+
+TEST(PowerArea, MonotoneInRobVectorLengthAndCacheSize) {
+  config::CpuConfig base = default_config();
+
+  config::CpuConfig bigger_rob = base;
+  bigger_rob.core.rob_size = 512;
+  EXPECT_GT(area_mm2(bigger_rob), area_mm2(base));
+
+  double prev = area_mm2(base);
+  for (int vl = 256; vl <= 2048; vl *= 2) {
+    config::CpuConfig wider = base;
+    wider.core.vector_length_bits = vl;
+    EXPECT_GT(area_mm2(wider), prev) << "VL " << vl;
+    prev = area_mm2(wider);
+  }
+
+  config::CpuConfig bigger_l1 = base;
+  bigger_l1.mem.l1_size_kib = 128;
+  EXPECT_GT(area_mm2(bigger_l1), area_mm2(base));
+  config::CpuConfig bigger_l2 = base;
+  bigger_l2.mem.l2_size_kib = 8192;
+  EXPECT_GT(area_mm2(bigger_l2), area_mm2(base));
+}
+
+TEST(PowerEnergy, ZeroEventRunCostsExactlyLeakage) {
+  const config::CpuConfig c = default_config();
+  core::CoreStats core;
+  mem::MemStats mem;
+  core.cycles = 1'000'000;
+
+  const PowerResult r = analyze(c, core, mem);
+  ASSERT_TRUE(r.valid());
+  EXPECT_DOUBLE_EQ(r.dynamic_j, 0.0);
+  const double seconds = 1.0e6 / (config::kCoreClockGhz * 1.0e9);
+  EXPECT_DOUBLE_EQ(r.leakage_j, kLeakageWattsPerMm2 * area_mm2(c) * seconds);
+  EXPECT_DOUBLE_EQ(r.energy_j(), r.leakage_j);
+}
+
+TEST(PowerEnergy, HandComputedEventMix) {
+  const config::CpuConfig c = default_config();
+  core::CoreStats core;
+  mem::MemStats mem;
+  core.cycles = 1000;
+  core.retired = 400;
+  core.regfile_reads[static_cast<int>(isa::RegClass::kGp)] = 300;
+  core.regfile_writes[static_cast<int>(isa::RegClass::kGp)] = 200;
+  core.regfile_reads[static_cast<int>(isa::RegClass::kFp)] = 100;
+  core.regfile_writes[static_cast<int>(isa::RegClass::kFp)] = 50;
+  core.sve_lane_ops = 80;
+  core.loads_sent = 60;
+  core.stores_sent = 20;
+  core.rs_wakeups = 500;
+  mem.l1_reads = 70;
+  mem.l1_writes = 30;
+  mem.l2_reads = 10;
+  mem.l2_writes = 4;
+  mem.ram_requests = 5;
+  mem.dirty_writebacks = 2;
+
+  const EnergyBreakdown e = dynamic_breakdown(c, core, mem);
+  const double pj = 1.0e-12;
+
+  // Defaults: rob 180 and lsq 100 sit exactly at the scale anchors, VL 128
+  // means wiring factor 1.
+  EXPECT_DOUBLE_EQ(e.rob, pj * (kRobWritePj + kRobReadPj) * 400);
+  const double fp_read = kVectorRegPjPerBit * 128.0;
+  const double fp_write = fp_read * kRegWriteFactor;
+  EXPECT_DOUBLE_EQ(e.regfile, pj * (kGpRegReadPj * 300 + kGpRegWritePj * 200 +
+                                    fp_read * 100 + fp_write * 50));
+  EXPECT_DOUBLE_EQ(e.vector_datapath, pj * kSveLaneOpPj * 80);
+  EXPECT_DOUBLE_EQ(e.lsq, pj * kLsqSearchPj * (60 + 20));
+  EXPECT_DOUBLE_EQ(e.frontend, pj * kFrontendOpPj * 400);
+  EXPECT_DOUBLE_EQ(e.wakeup, pj * kWakeupPj * 500);
+
+  // Caches at their energy anchors (32K/256K, 64B line, 8-way).
+  const double l1_read = kL1ReadPjBase * (1.0 + kCacheWayEnergyFactor * 8);
+  const double l2_read = kL2ReadPjBase * (1.0 + kCacheWayEnergyFactor * 8);
+  EXPECT_DOUBLE_EQ(e.l1, pj * l1_read * (70 + kCacheWriteFactor * 30));
+  EXPECT_DOUBLE_EQ(e.l2, pj * l2_read * (10 + kCacheWriteFactor * 4));
+  EXPECT_DOUBLE_EQ(e.ram, pj * kRamPjPerByte * 64 * (5 + 2));
+
+  const PowerResult r = analyze(c, core, mem);
+  EXPECT_DOUBLE_EQ(r.dynamic_j, e.total());
+}
+
+TEST(PowerEnergy, WiderVectorsCostMorePerLaneOp) {
+  // The dynamic half of the knee: identical event counts, wider VL ->
+  // strictly more energy per SVE lane-op and per FP regfile access.
+  core::CoreStats core;
+  mem::MemStats mem;
+  core.sve_lane_ops = 1000;
+  core.regfile_reads[static_cast<int>(isa::RegClass::kFp)] = 1000;
+
+  double prev = 0.0;
+  for (int vl = 128; vl <= 2048; vl *= 2) {
+    config::CpuConfig c;
+    c.core.vector_length_bits = vl;
+    const EnergyBreakdown e = dynamic_breakdown(c, core, mem);
+    EXPECT_GT(e.vector_datapath + e.regfile, prev) << "VL " << vl;
+    prev = e.vector_datapath + e.regfile;
+  }
+  EXPECT_DOUBLE_EQ(vector_wiring_factor(128), 1.0);
+  EXPECT_DOUBLE_EQ(vector_wiring_factor(2048),
+                   1.0 + kVectorWiringFactor * 15.0);
+}
+
+TEST(PowerResultStruct, NanUntilComputedAndEnergySums) {
+  PowerResult r;
+  EXPECT_FALSE(r.valid());
+  r.dynamic_j = 1.0;
+  r.leakage_j = 2.0;
+  r.area_mm2 = 3.0;
+  EXPECT_TRUE(r.valid());
+  EXPECT_DOUBLE_EQ(r.energy_j(), 3.0);
+}
+
+}  // namespace
+}  // namespace adse::power
