@@ -4,11 +4,18 @@
 ///   ./examples/check_tool --fuzz 32 --seed 1            # fuzz, exit 1 on bugs
 ///   ./examples/check_tool --fuzz 512 --repro-dir repros # CI extended run
 ///   ./examples/check_tool --repro repros/repro-1-7.txt  # replay a finding
+///   ./examples/check_tool --calibrate                   # fit proxy constants
 ///
 /// Exit codes: 0 = clean (or a replayed repro no longer fires), 1 = at least
 /// one violation (or a replayed repro still fires), 77 = skipped because the
 /// gating environment variable (--skip-unless-env) is unset — the ctest
 /// SKIP_RETURN_CODE convention.
+///
+/// `--calibrate` runs the DiffTune-style constant fit (analysis/calibrate):
+/// coordinate descent of the hardware proxy's latency/bandwidth constants
+/// against black-box cycle observations, reporting fitted vs reference
+/// values and the residual divergence. `--configs N`, `--sweeps N`, `--seed`
+/// shape the fit; `--out FILE` also writes the report to a file.
 ///
 /// The tool uses a hermetic evaluation service (no persistent result store):
 /// a cached result would bypass the in-run structural checks and could mask
@@ -17,8 +24,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "analysis/calibrate.hpp"
 #include "check/fuzzer.hpp"
 #include "check/repro.hpp"
 #include "common/stopwatch.hpp"
@@ -32,7 +41,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--fuzz N] [--seed S] [--chains L] [--threads T]\n"
       "          [--repro-dir DIR] [--no-shrink] [--verbose]\n"
-      "          [--repro FILE] [--skip-unless-env VAR]\n",
+      "          [--repro FILE] [--skip-unless-env VAR]\n"
+      "          [--calibrate] [--configs N] [--sweeps N] [--out FILE]\n",
       argv0);
   return 2;
 }
@@ -46,6 +56,9 @@ int main(int argc, char** argv) {
   std::string repro_file;
   int threads = 0;
   bool verbose = false;
+  bool calibrate = false;
+  analysis::CalibrationOptions calibration;
+  std::string calibration_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +85,14 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--repro") {
       repro_file = next();
+    } else if (arg == "--calibrate") {
+      calibrate = true;
+    } else if (arg == "--configs") {
+      calibration.num_configs = std::atoi(next());
+    } else if (arg == "--sweeps") {
+      calibration.sweeps = std::atoi(next());
+    } else if (arg == "--out") {
+      calibration_out = next();
     } else if (arg == "--skip-unless-env") {
       const char* gate = std::getenv(next());
       if (gate == nullptr || gate[0] == '\0') {
@@ -83,6 +104,25 @@ int main(int argc, char** argv) {
     }
   }
   options.verbose = verbose;
+
+  if (calibrate) {
+    calibration.seed = options.seed;
+    Stopwatch watch;
+    const analysis::CalibrationReport report = analysis::calibrate(calibration);
+    const double seconds = watch.millis() / 1000.0;
+    std::printf("== proxy-constant calibration (%d configs, %d sweeps, "
+                "seed %llu) ==\n\n%s",
+                calibration.num_configs, calibration.sweeps,
+                static_cast<unsigned long long>(calibration.seed),
+                report.render().c_str());
+    std::printf("fit took %.1f s\n", seconds);
+    if (!calibration_out.empty()) {
+      std::ofstream out(calibration_out);
+      out << report.render();
+      std::printf("wrote %s\n", calibration_out.c_str());
+    }
+    return 0;
+  }
 
   // Hermetic service: in-memory memo only (see file comment).
   eval::EvalOptions eval_options;

@@ -45,6 +45,12 @@ std::uint64_t campaign_seed() {
   return static_cast<std::uint64_t>(env_int("ADSE_SEED", 42));
 }
 
+std::int64_t batch_k() {
+  const std::int64_t k = env_int("ADSE_BATCH_K", 8);
+  ADSE_REQUIRE_MSG(k <= 1024, "ADSE_BATCH_K must be <= 1024, got " << k);
+  return k;
+}
+
 std::string log_level_name() { return env_string("ADSE_LOG_LEVEL", "info"); }
 
 std::string trace_file() { return env_string("ADSE_TRACE_FILE", ""); }

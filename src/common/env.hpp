@@ -35,6 +35,12 @@ std::int64_t num_threads();
 /// Global campaign seed (ADSE_SEED, default 42).
 std::uint64_t campaign_seed();
 
+/// Batch width for config-parallel simulation (ADSE_BATCH_K, default 8).
+/// Values <= 1 disable batched dispatch (every request runs scalar). Read
+/// once by `eval::EvalService` construction — the service chunks same-
+/// (app, VL) requests into batches of at most this many lanes.
+std::int64_t batch_k();
+
 /// Minimum log level for the obs leveled logger (ADSE_LOG_LEVEL: trace,
 /// debug, info, warn, error, off; default "info"). Parsed and cached once
 /// by `obs::log_level()` — nothing else should getenv it.

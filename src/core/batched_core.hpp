@@ -1,0 +1,129 @@
+#pragma once
+/// \file batched_core.hpp
+/// Config-parallel core simulation: K configurations executed per trace
+/// pass. All lanes share one decoded µop stream (decode/fetch metadata is
+/// extracted once per batch, not once per config) and keep their own
+/// structure-of-arrays pipeline state — ROB/LSQ rings, RS free list,
+/// per-phys-reg waiter lists, execution event wheel, register files — laid
+/// out per lane so the engine sweeps lane-major over a cache-resident trace
+/// window.
+///
+/// Scheduling is windowed round-robin: the trace is cut into fixed-size
+/// windows; each active lane runs cycles until its fetch cursor crosses the
+/// window boundary, then the next lane reuses the same (hot) window. Lanes
+/// that finish early are retired from the active set by swap-erase
+/// compaction, so a batch never drags dead lanes.
+///
+/// Semantics are bit-identical to `core::Core` — same stage order, same
+/// ready-list orderings, same memory-completion tie-breaking, same stats
+/// attribution (tests/test_batch_sim.cpp and the golden-cycles gate prove
+/// it). Lanes are fully independent, so the interleaving the scheduler picks
+/// cannot affect any lane's counts; the engine is purely a throughput
+/// optimisation (DESIGN.md §12).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "core/core.hpp"
+#include "core/core_stats.hpp"
+#include "isa/program.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace adse::core {
+
+/// Scheduler observability for a batched run (lane-occupancy accounting the
+/// bench records: how full the batch stayed as lanes retired early).
+struct BatchRunInfo {
+  std::uint64_t windows = 0;       ///< trace-window rounds swept
+  std::uint64_t lane_windows = 0;  ///< sum of active lanes over rounds
+
+  /// Mean number of live lanes per window round (== batch width when no lane
+  /// retires before the final window).
+  double mean_active_lanes() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(lane_windows) /
+                              static_cast<double>(windows);
+  }
+};
+
+/// A program decoded once into the engine's flat µop records, shareable
+/// across every batch run of the same (app, VL) trace — chunked campaigns
+/// decode each group's trace once, not once per K-lane chunk. Immutable
+/// after construction, so concurrent engine runs may share one instance.
+class DecodedTrace {
+ public:
+  explicit DecodedTrace(const isa::Program& program);
+  ~DecodedTrace();
+
+  DecodedTrace(const DecodedTrace&) = delete;
+  DecodedTrace& operator=(const DecodedTrace&) = delete;
+
+  std::size_t size() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class BatchedCore;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string name_;
+};
+
+class BatchedCore {
+ public:
+  /// Ops per trace window (scheduling granularity). Small enough that a
+  /// window of decoded µops stays L2-resident while every lane sweeps it,
+  /// large enough that per-switch overhead is noise.
+  static constexpr std::size_t kWindowOps = 16384;
+  /// Cycle quantum per lane per round once fetch reaches the trace tail:
+  /// lanes drain round-robin so slow lanes don't serialise the batch tail and
+  /// early-finishing lanes retire (and compact) as soon as they are done.
+  static constexpr std::uint64_t kDrainCycles = 8192;
+
+  /// One lane per config; `hierarchies[i]` is lane i's memory hierarchy and
+  /// must outlive the engine. All configs must share a vector length (they
+  /// share one trace). Every config is validated.
+  BatchedCore(std::span<const config::CpuConfig> configs,
+              std::span<mem::MemoryHierarchy* const> hierarchies,
+              const CoreFidelity& fidelity = {});
+  ~BatchedCore();
+
+  BatchedCore(const BatchedCore&) = delete;
+  BatchedCore& operator=(const BatchedCore&) = delete;
+
+  /// Runs `program` to completion on every lane; stats come back in lane
+  /// (== config) order. Single-use, like constructing a fresh `Core` per
+  /// run. Throws if any lane exceeds `max_cycles`.
+  std::vector<CoreStats> run(const isa::Program& program,
+                             std::uint64_t max_cycles = 2'000'000'000ULL);
+
+  /// Same, against a pre-decoded trace (decode amortised across many batch
+  /// runs of one (app, VL) group). `trace` must outlive the call.
+  std::vector<CoreStats> run(const DecodedTrace& trace,
+                             std::uint64_t max_cycles = 2'000'000'000ULL);
+
+  std::size_t lanes() const { return lanes_.size(); }
+  const BatchRunInfo& info() const { return info_; }
+
+  /// Implementation detail (defined in the .cpp; declared here so the
+  /// file-local stage functions can name them).
+  struct Lane;
+  struct DecodedOp;
+
+ private:
+  void step_cycle(Lane& lane, std::span<const DecodedOp> ops);
+  std::vector<CoreStats> run_decoded(const std::vector<DecodedOp>& ops);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<DecodedOp> owned_decoded_;
+  BatchRunInfo info_;
+  std::uint64_t max_cycles_ = 0;
+  const char* program_name_ = "";
+  bool check_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace adse::core

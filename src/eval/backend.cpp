@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/require.hpp"
+#include "sim/batch_sim.hpp"
 
 namespace adse::eval {
 
@@ -24,6 +25,17 @@ std::string proxy_key(const sim::ProxyOptions& o) {
 
 }  // namespace
 
+std::vector<sim::RunResult> Backend::run_batch(
+    std::span<const config::CpuConfig> configs, kernels::App app,
+    const isa::Program& trace) const {
+  std::vector<sim::RunResult> out;
+  out.reserve(configs.size());
+  for (const config::CpuConfig& config : configs) {
+    out.push_back(run(config, app, trace));
+  }
+  return out;
+}
+
 const std::string& SimulatorBackend::key() const {
   static const std::string k = "sim";
   return k;
@@ -33,6 +45,12 @@ sim::RunResult SimulatorBackend::run(const config::CpuConfig& config,
                                      kernels::App /*app*/,
                                      const isa::Program& trace) const {
   return sim::simulate(config, trace);
+}
+
+std::vector<sim::RunResult> SimulatorBackend::run_batch(
+    std::span<const config::CpuConfig> configs, kernels::App /*app*/,
+    const isa::Program& trace) const {
+  return sim::simulate_batch(configs, trace);
 }
 
 HardwareProxyBackend::HardwareProxyBackend(sim::ProxyOptions options)

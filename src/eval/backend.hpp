@@ -22,7 +22,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "config/cpu_config.hpp"
 #include "isa/program.hpp"
@@ -54,6 +56,19 @@ class Backend {
   /// Must be safe to call concurrently from multiple threads.
   virtual sim::RunResult run(const config::CpuConfig& config, kernels::App app,
                              const isa::Program& trace) const = 0;
+
+  /// True if `run_batch` beats a scalar loop (the service only groups and
+  /// chunks requests for backends that say so).
+  virtual bool supports_batch() const { return false; }
+
+  /// Evaluates K (config, app) pairs against one shared trace; results come
+  /// back in config order. All configs must share the trace's vector length.
+  /// The default is the scalar loop, so every backend accepts batched
+  /// dispatch; the cycle simulator overrides with the config-parallel
+  /// engine (sim::simulate_batch).
+  virtual std::vector<sim::RunResult> run_batch(
+      std::span<const config::CpuConfig> configs, kernels::App app,
+      const isa::Program& trace) const;
 };
 
 /// The campaign-fidelity cycle simulator (infinite banks / unlimited MSHRs /
@@ -63,6 +78,10 @@ class SimulatorBackend final : public Backend {
   const std::string& key() const override;
   sim::RunResult run(const config::CpuConfig& config, kernels::App app,
                      const isa::Program& trace) const override;
+  bool supports_batch() const override { return true; }
+  std::vector<sim::RunResult> run_batch(
+      std::span<const config::CpuConfig> configs, kernels::App app,
+      const isa::Program& trace) const override;
 };
 
 /// The ThunderX2 hardware stand-in (Table I): same core model with the

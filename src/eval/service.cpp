@@ -1,6 +1,8 @@
 #include "eval/service.hpp"
 
 #include <cstring>
+#include <map>
+#include <utility>
 
 #include "common/env.hpp"
 #include "common/require.hpp"
@@ -55,6 +57,7 @@ EvalService::EvalService(EvalOptions options)
       memo_hits_(&metrics_->counter("eval.memo_hits")),
       store_hits_(&metrics_->counter("eval.store_hits")),
       inflight_joins_(&metrics_->counter("eval.inflight_joins")),
+      batch_width_(&metrics_->histogram("eval.batch_width")),
       pool_threads_(&metrics_->gauge("eval.pool_threads")),
       pool_queue_depth_(&metrics_->gauge("eval.pool_queue_depth")),
       pool_queue_high_water_(&metrics_->gauge("eval.pool_queue_high_water")),
@@ -63,6 +66,7 @@ EvalService::EvalService(EvalOptions options)
       pool_(static_cast<std::size_t>(
           options_.threads > 0 ? options_.threads
                                : static_cast<int>(num_threads()))),
+      batch_k_(static_cast<int>(batch_k())),
       traces_(&metrics_->counter("eval.trace_hits"),
               &metrics_->counter("eval.trace_builds")) {
   pool_threads_->set(static_cast<double>(pool_.size()));
@@ -91,6 +95,7 @@ EvalService::EvalService(EvalOptions options)
                                     record.core, record.mem);
       }
       slot.from_store = true;
+      slot.state = Slot::State::kDone;
       slot.done.store(true, std::memory_order_release);
     }
     store_loaded_->set(static_cast<double>(store_->loaded().size()));
@@ -102,12 +107,68 @@ EvalService::EvalService(EvalOptions options)
   }
 }
 
+EvalService::MemoKey EvalService::make_key(const EvalRequest& request,
+                                           const Backend& backend) const {
+  return MemoKey{ResultStore::tag(backend.key()),
+                 static_cast<std::int32_t>(request.app),
+                 config::feature_vector(request.config)};
+}
+
+void EvalService::fill_from_slot(const EvalRequest& request, const Slot& slot,
+                                 ResultSource source, EvalResult& out) {
+  out.source = source;
+  // Labels are reconstructed from the request so cached and fresh results
+  // are indistinguishable (traces are named by app slug).
+  out.run.app = kernels::app_slug(request.app);
+  out.run.config_name = request.config.name;
+  out.run.core = slot.core;
+  out.run.mem = slot.mem;
+  out.run.power = slot.power;
+}
+
+void EvalService::run_claimed(const EvalRequest& request,
+                              const Backend& backend, const MemoKey& key,
+                              Shard& shard, Slot& slot) {
+  try {
+    // Coarse per-simulation span: one event per fresh backend run keeps a
+    // 180k-config trace readable and the disabled-tracer cost to a branch.
+    obs::Span span("eval.backend_run", "eval");
+    const isa::Program& trace =
+        backend.needs_trace()
+            ? traces_.get(request.app, request.config.core.vector_length_bits)
+            : empty_program();
+    const sim::RunResult fresh = backend.run(request.config, request.app, trace);
+    slot.core = fresh.core;
+    slot.mem = fresh.mem;
+    slot.power = fresh.power;
+  } catch (...) {
+    // Leave no memo entry: revert the claim and wake waiters so one of them
+    // re-claims (and deterministically re-fails, if the failure is the
+    // model's).
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      slot.state = Slot::State::kEmpty;
+    }
+    shard.cv.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    slot.state = Slot::State::kDone;
+    slot.done.store(true, std::memory_order_release);
+  }
+  shard.cv.notify_all();
+  backend_runs_->add(1);
+  if (store_ != nullptr && backend.persistable()) {
+    store_->append(
+        {key.tag, key.app, key.features, slot.core, slot.mem, slot.power});
+  }
+}
+
 EvalResult EvalService::evaluate_one(const EvalRequest& request,
                                      const Backend* backend) {
   const Backend& chosen = backend != nullptr ? *backend : simulator_;
-  MemoKey key{ResultStore::tag(chosen.key()),
-              static_cast<std::int32_t>(request.app),
-              config::feature_vector(request.config)};
+  const MemoKey key = make_key(request, chosen);
 
   Shard& shard = shard_for(key);
   Slot* slot;
@@ -117,53 +178,32 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
   }
   requests_->add(1);
 
-  ResultSource source;
+  EvalResult out;
   if (slot->done.load(std::memory_order_acquire)) {
-    source = slot->from_store ? ResultSource::kStore : ResultSource::kMemo;
+    const ResultSource source =
+        slot->from_store ? ResultSource::kStore : ResultSource::kMemo;
     (slot->from_store ? store_hits_ : memo_hits_)->add(1);
-  } else {
-    bool ran = false;
-    std::call_once(slot->once, [&] {
-      // Coarse per-simulation span: one event per fresh backend run keeps a
-      // 180k-config trace readable and the disabled-tracer cost to a branch.
-      obs::Span span("eval.backend_run", "eval");
-      const isa::Program& trace =
-          chosen.needs_trace()
-              ? traces_.get(request.app, request.config.core.vector_length_bits)
-              : empty_program();
-      const sim::RunResult fresh =
-          chosen.run(request.config, request.app, trace);
-      slot->core = fresh.core;
-      slot->mem = fresh.mem;
-      slot->power = fresh.power;
-      slot->done.store(true, std::memory_order_release);
-      ran = true;
-    });
-    if (ran) {
-      source = ResultSource::kBackend;
-      backend_runs_->add(1);
-      if (store_ != nullptr && chosen.persistable()) {
-        store_->append({key.tag, key.app, key.features, slot->core, slot->mem,
-                        slot->power});
-      }
-    } else {
-      // The once-latch was won by a concurrent identical request; we waited
-      // on its completion instead of re-running the backend.
-      source = ResultSource::kInflight;
-      inflight_joins_->add(1);
-    }
+    fill_from_slot(request, *slot, source, out);
+    return out;
   }
 
-  EvalResult out;
-  out.source = source;
-  // Labels are reconstructed from the request so cached and fresh results
-  // are indistinguishable (traces are named by app slug).
-  out.run.app = kernels::app_slug(request.app);
-  out.run.config_name = request.config.name;
-  out.run.core = slot->core;
-  out.run.mem = slot->mem;
-  out.run.power = slot->power;
-  return out;
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  while (true) {
+    if (slot->state == Slot::State::kDone) {
+      // An identical concurrent request ran the backend while we waited.
+      inflight_joins_->add(1);
+      fill_from_slot(request, *slot, ResultSource::kInflight, out);
+      return out;
+    }
+    if (slot->state == Slot::State::kEmpty) {
+      slot->state = Slot::State::kRunning;
+      lock.unlock();
+      run_claimed(request, chosen, key, shard, *slot);
+      fill_from_slot(request, *slot, ResultSource::kBackend, out);
+      return out;
+    }
+    shard.cv.wait(lock);
+  }
 }
 
 EvalService::CheckedResult EvalService::evaluate_checked(
@@ -182,6 +222,11 @@ std::vector<EvalResult> EvalService::evaluate(
   if (requests.empty()) return out;
   obs::Span span("eval.batch", "eval");
   span.set_detail(std::to_string(requests.size()) + " requests");
+  const Backend& chosen = backend != nullptr ? *backend : simulator_;
+  if (batch_k_ > 1 && requests.size() > 1 && chosen.supports_batch() &&
+      chosen.needs_trace()) {
+    return evaluate_batched(requests, chosen, batch_k_, progress);
+  }
   std::atomic<std::size_t> done{0};
   auto run_one = [&](std::size_t i) {
     out[i] = evaluate_one(requests[i], backend);
@@ -191,6 +236,155 @@ std::vector<EvalResult> EvalService::evaluate(
     run_one(0);
   } else {
     pool_.parallel_for(requests.size(), run_one);
+  }
+  return out;
+}
+
+std::vector<EvalResult> EvalService::evaluate_batched(
+    std::span<const EvalRequest> requests, const Backend& backend, int k,
+    const Progress& progress) {
+  std::vector<EvalResult> out(requests.size());
+  std::atomic<std::size_t> completed{0};
+  auto note_done = [&] {
+    if (progress) progress(completed.fetch_add(1) + 1, requests.size());
+  };
+
+  // Claim phase: resolve every request against the memo. Finished slots are
+  // served immediately; empty slots are claimed (state -> kRunning) for the
+  // chunked engine passes below; slots another thread (or an earlier
+  // duplicate in this very batch) is already running are joined later.
+  struct Claimed {
+    std::size_t index;  ///< position in `requests` / `out`
+    MemoKey key;
+  };
+  std::vector<Claimed> claimed;
+  std::vector<std::pair<std::size_t, MemoKey>> waiting;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const MemoKey key = make_key(requests[i], backend);
+    Shard& shard = shard_for(key);
+    requests_->add(1);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Slot& slot = shard.map[key];
+    if (slot.state == Slot::State::kDone) {
+      const ResultSource source =
+          slot.from_store ? ResultSource::kStore : ResultSource::kMemo;
+      (slot.from_store ? store_hits_ : memo_hits_)->add(1);
+      fill_from_slot(requests[i], slot, source, out[i]);
+      note_done();
+    } else if (slot.state == Slot::State::kEmpty) {
+      slot.state = Slot::State::kRunning;
+      claimed.push_back({i, key});
+    } else {
+      waiting.emplace_back(i, key);
+    }
+  }
+
+  // Group claimed requests by (app, VL) — a batch shares one trace — and
+  // chunk each group into K-lane engine passes, farmed across the pool.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
+  for (std::size_t c = 0; c < claimed.size(); ++c) {
+    const EvalRequest& request = requests[claimed[c].index];
+    groups[{static_cast<int>(request.app),
+            request.config.core.vector_length_bits}]
+        .push_back(c);
+  }
+  struct Chunk {
+    kernels::App app;
+    int vl = 0;
+    std::span<const std::size_t> members;  ///< indices into `claimed`
+  };
+  std::vector<Chunk> chunks;
+  for (const auto& [app_vl, members] : groups) {
+    for (std::size_t start = 0; start < members.size();
+         start += static_cast<std::size_t>(k)) {
+      const std::size_t width =
+          std::min(static_cast<std::size_t>(k), members.size() - start);
+      chunks.push_back({static_cast<kernels::App>(app_vl.first), app_vl.second,
+                        {members.data() + start, width}});
+    }
+  }
+
+  auto run_chunk = [&](std::size_t ci) {
+    const Chunk& chunk = chunks[ci];
+    obs::Span chunk_span("eval.backend_run_batch", "eval");
+    chunk_span.set_detail(std::to_string(chunk.members.size()) + " lanes");
+    batch_width_->observe(static_cast<double>(chunk.members.size()));
+    const isa::Program& trace = traces_.get(chunk.app, chunk.vl);
+    std::vector<config::CpuConfig> configs;
+    configs.reserve(chunk.members.size());
+    for (const std::size_t c : chunk.members) {
+      configs.push_back(requests[claimed[c].index].config);
+    }
+    std::vector<sim::RunResult> results;
+    try {
+      results = backend.run_batch(configs, chunk.app, trace);
+    } catch (...) {
+      // Revert every claim in the chunk so no memo entry survives a failed
+      // pass; waiters re-claim and re-fail deterministically.
+      for (const std::size_t c : chunk.members) {
+        Shard& shard = shard_for(claimed[c].key);
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          shard.map[claimed[c].key].state = Slot::State::kEmpty;
+        }
+        shard.cv.notify_all();
+      }
+      throw;
+    }
+    for (std::size_t lane = 0; lane < chunk.members.size(); ++lane) {
+      const std::size_t c = chunk.members[lane];
+      const MemoKey& key = claimed[c].key;
+      Shard& shard = shard_for(key);
+      Slot* slot;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        slot = &shard.map[key];
+        slot->core = results[lane].core;
+        slot->mem = results[lane].mem;
+        slot->power = results[lane].power;
+        slot->state = Slot::State::kDone;
+        slot->done.store(true, std::memory_order_release);
+      }
+      shard.cv.notify_all();
+      backend_runs_->add(1);
+      if (store_ != nullptr && backend.persistable()) {
+        store_->append({key.tag, key.app, key.features, slot->core, slot->mem,
+                        slot->power});
+      }
+      fill_from_slot(requests[claimed[c].index], *slot, ResultSource::kBackend,
+                     out[claimed[c].index]);
+      note_done();
+    }
+  };
+  if (chunks.size() == 1) {
+    run_chunk(0);
+  } else if (!chunks.empty()) {
+    pool_.parallel_for(chunks.size(), run_chunk);
+  }
+
+  // Join phase: wait for slots someone else is running. If a claim was
+  // reverted by a failure, take it over on this thread.
+  for (const auto& [i, key] : waiting) {
+    Shard& shard = shard_for(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    Slot& slot = shard.map[key];
+    while (true) {
+      if (slot.state == Slot::State::kDone) {
+        inflight_joins_->add(1);
+        fill_from_slot(requests[i], slot, ResultSource::kInflight, out[i]);
+        note_done();
+        break;
+      }
+      if (slot.state == Slot::State::kEmpty) {
+        slot.state = Slot::State::kRunning;
+        lock.unlock();
+        run_claimed(requests[i], backend, key, shard, slot);
+        fill_from_slot(requests[i], slot, ResultSource::kBackend, out[i]);
+        note_done();
+        break;
+      }
+      shard.cv.wait(lock);
+    }
   }
   return out;
 }

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -170,10 +171,18 @@ class EvalService {
   /// One memoised evaluation. unordered_map nodes are address-stable, so a
   /// slot reference survives the shard lock being dropped; `done` flips
   /// (release) only after the stat blocks are written, and readers check it
-  /// with acquire before touching them. Concurrent first-requests serialise
-  /// on the once-latch — exactly one runs the backend.
+  /// with acquire before touching them.
+  ///
+  /// `state` (guarded by the shard mutex) is the claim latch: a request
+  /// finding kEmpty flips it to kRunning and owns the backend run — scalar
+  /// callers run inline, the batched dispatcher claims many slots and runs
+  /// them as one engine pass. Waiters block on the shard condition variable
+  /// until kDone. A failed run reverts to kEmpty (and wakes waiters, one of
+  /// which re-claims), so a violating request leaves no memo entry — the
+  /// behaviour evaluate_checked and the check fuzzer rely on.
   struct Slot {
-    std::once_flag once;
+    enum class State : std::uint8_t { kEmpty, kRunning, kDone };
+    State state = State::kEmpty;
     std::atomic<bool> done{false};
     bool from_store = false;
     core::CoreStats core;
@@ -183,12 +192,32 @@ class EvalService {
 
   struct Shard {
     std::mutex mutex;
+    std::condition_variable cv;
     std::unordered_map<MemoKey, Slot, MemoKeyHash> map;
   };
 
   static constexpr std::size_t kNumShards = 16;
 
   Shard& shard_for(const MemoKey& key);
+
+  MemoKey make_key(const EvalRequest& request, const Backend& backend) const;
+
+  /// Serves `out` from a finished slot, attributing the hit. Caller ensures
+  /// the slot is done (acquire-loaded or seen kDone under the shard lock).
+  void fill_from_slot(const EvalRequest& request, const Slot& slot,
+                      ResultSource source, EvalResult& out);
+
+  /// Runs one claimed slot's backend evaluation inline on the calling
+  /// thread. The slot must be in kRunning owned by this caller.
+  void run_claimed(const EvalRequest& request, const Backend& backend,
+                   const MemoKey& key, Shard& shard, Slot& slot);
+
+  /// The batched dispatch path: groups claimable fresh requests by
+  /// (app, VL), chunks them into `k`-lane batches, and runs each chunk
+  /// through Backend::run_batch on the pool.
+  std::vector<EvalResult> evaluate_batched(std::span<const EvalRequest> requests,
+                                           const Backend& backend, int k,
+                                           const Progress& progress);
 
   EvalOptions options_;
   /// Present only when options_.registry was null (hermetic service).
@@ -200,12 +229,16 @@ class EvalService {
   obs::Counter* memo_hits_;
   obs::Counter* store_hits_;
   obs::Counter* inflight_joins_;
+  obs::Histogram* batch_width_;
   obs::Gauge* pool_threads_;
   obs::Gauge* pool_queue_depth_;
   obs::Gauge* pool_queue_high_water_;
   obs::Gauge* store_loaded_;
   obs::Gauge* store_appended_;
   ThreadPool pool_;
+  /// Batch width ceiling (ADSE_BATCH_K, read once at construction);
+  /// <= 1 keeps every request on the scalar path.
+  int batch_k_;
   TraceCache traces_;
   SimulatorBackend simulator_;
   HardwareProxyBackend proxy_;

@@ -1,0 +1,132 @@
+#include "sim/batch_sim.hpp"
+
+#include <deque>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace adse::sim {
+
+namespace {
+
+std::vector<RunResult> simulate_batch_impl(
+    std::span<const config::CpuConfig> configs, const isa::Program& program,
+    const core::DecodedTrace* decoded, core::BatchRunInfo* info) {
+  ADSE_REQUIRE_MSG(!configs.empty(), "empty config batch");
+  obs::Span span("sim.simulate_batch", "sim");
+  span.set_detail(std::to_string(configs.size()) + " lanes");
+
+  // One hierarchy per lane: the cache/DRAM state is per-config (line sizes
+  // and capacities differ), only the trace is shared.
+  std::deque<mem::MemoryHierarchy> hierarchies;
+  std::vector<mem::MemoryHierarchy*> hierarchy_ptrs;
+  hierarchy_ptrs.reserve(configs.size());
+  for (const config::CpuConfig& config : configs) {
+    hierarchies.emplace_back(config.mem, config::kCoreClockGhz);
+    hierarchy_ptrs.push_back(&hierarchies.back());
+  }
+
+  core::BatchedCore engine(configs, hierarchy_ptrs);
+  std::vector<core::CoreStats> stats =
+      decoded != nullptr ? engine.run(*decoded) : engine.run(program);
+  if (info != nullptr) *info = engine.info();
+
+  std::vector<RunResult> out(configs.size());
+  std::uint64_t total_cycles = 0;
+  std::uint64_t rf_reads = 0, rf_writes = 0, lane_ops = 0;
+  std::uint64_t l1r = 0, l1w = 0, l2r = 0, l2w = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    RunResult& result = out[i];
+    result.app = program.name;
+    result.config_name = configs[i].name;
+    result.core = stats[i];
+    result.mem = hierarchies[i].stats();
+    result.power = power::analyze(configs[i], result.core, result.mem);
+    validate_result(result, program);
+    if (CheckContext::enabled()) {
+      // Same cross-component conservation laws as the scalar path, applied
+      // per lane (lanes are independent simulations).
+      ADSE_REQUIRE_MSG(result.mem.loads == result.core.loads_sent,
+                       "lane " << i << ": hierarchy saw " << result.mem.loads
+                               << " loads, LSQ sent "
+                               << result.core.loads_sent);
+      ADSE_REQUIRE_MSG(result.mem.stores == result.core.stores_sent,
+                       "lane " << i << ": hierarchy saw " << result.mem.stores
+                               << " stores, LSQ sent "
+                               << result.core.stores_sent);
+      ADSE_REQUIRE_MSG(result.mem.l1_hits + result.mem.l1_misses ==
+                           result.mem.line_requests,
+                       "lane " << i << ": cache accounting unbalanced");
+    }
+    total_cycles += result.core.cycles;
+    for (int c = 0; c < isa::kNumRegClasses; ++c) {
+      rf_reads += result.core.regfile_reads[c];
+      rf_writes += result.core.regfile_writes[c];
+    }
+    lane_ops += result.core.sve_lane_ops;
+    l1r += result.mem.l1_reads;
+    l1w += result.mem.l1_writes;
+    l2r += result.mem.l2_reads;
+    l2w += result.mem.l2_writes;
+  }
+
+  // The same per-run counters sim::simulate exports (a batched lane is a
+  // simulation), plus the batch-shape counters the eval layer tracks.
+  static obs::Counter& simulations =
+      obs::Registry::global().counter("sim.simulations");
+  static obs::Counter& simulated_cycles =
+      obs::Registry::global().counter("sim.simulated_cycles");
+  static obs::Counter& regfile_reads =
+      obs::Registry::global().counter("sim.regfile_reads");
+  static obs::Counter& regfile_writes =
+      obs::Registry::global().counter("sim.regfile_writes");
+  static obs::Counter& sve_lane_ops =
+      obs::Registry::global().counter("sim.sve_lane_ops");
+  static obs::Counter& l1_reads =
+      obs::Registry::global().counter("sim.l1_reads");
+  static obs::Counter& l1_writes =
+      obs::Registry::global().counter("sim.l1_writes");
+  static obs::Counter& l2_reads =
+      obs::Registry::global().counter("sim.l2_reads");
+  static obs::Counter& l2_writes =
+      obs::Registry::global().counter("sim.l2_writes");
+  static obs::Counter& batch_runs =
+      obs::Registry::global().counter("sim.batch_runs");
+  static obs::Counter& batch_lanes =
+      obs::Registry::global().counter("sim.batch_lanes_active");
+  simulations.add(configs.size());
+  simulated_cycles.add(total_cycles);
+  regfile_reads.add(rf_reads);
+  regfile_writes.add(rf_writes);
+  sve_lane_ops.add(lane_ops);
+  l1_reads.add(l1r);
+  l1_writes.add(l1w);
+  l2_reads.add(l2r);
+  l2_writes.add(l2w);
+  batch_runs.add(1);
+  batch_lanes.add(engine.info().lane_windows);
+  return out;
+}
+
+}  // namespace
+
+std::vector<RunResult> simulate_batch(
+    std::span<const config::CpuConfig> configs, const isa::Program& program,
+    core::BatchRunInfo* info) {
+  return simulate_batch_impl(configs, program, nullptr, info);
+}
+
+std::vector<RunResult> simulate_batch(
+    std::span<const config::CpuConfig> configs, const isa::Program& program,
+    const core::DecodedTrace& decoded, core::BatchRunInfo* info) {
+  ADSE_REQUIRE_MSG(decoded.size() == program.ops.size(),
+                   "decoded trace does not match program: "
+                       << decoded.size() << " vs " << program.ops.size()
+                       << " ops");
+  return simulate_batch_impl(configs, program, &decoded, info);
+}
+
+}  // namespace adse::sim

@@ -1,0 +1,37 @@
+#pragma once
+/// \file batch_sim.hpp
+/// Batched counterpart of sim::simulate: K configurations per trace pass.
+/// The batch shares one decoded µop stream (all configs must have the same
+/// vector length — traces depend only on (app, VL)) and returns one
+/// RunResult per config, each validated and priced by adse::power exactly
+/// like a scalar run, so campaign CSVs, the eval result store, and the
+/// adse::check conservation laws see no difference.
+
+#include <span>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+#include "core/batched_core.hpp"
+#include "isa/program.hpp"
+#include "sim/simulation.hpp"
+
+namespace adse::sim {
+
+/// Simulates every config against `program` in one batched pass. Results
+/// come back in config order and are bit-identical to per-config
+/// sim::simulate calls. Throws InvariantError when the batch mixes vector
+/// lengths (group by (app, VL) first — eval::EvalService does). `info`, when
+/// non-null, receives the scheduler's lane-occupancy accounting.
+std::vector<RunResult> simulate_batch(
+    std::span<const config::CpuConfig> configs, const isa::Program& program,
+    core::BatchRunInfo* info = nullptr);
+
+/// Same, with the trace pre-decoded once per (app, VL) group: callers
+/// chunking a large group into many K-lane batches (the eval service, the
+/// throughput bench) pay the µop decode once, not once per chunk. `program`
+/// must be the program `decoded` was built from.
+std::vector<RunResult> simulate_batch(
+    std::span<const config::CpuConfig> configs, const isa::Program& program,
+    const core::DecodedTrace& decoded, core::BatchRunInfo* info = nullptr);
+
+}  // namespace adse::sim

@@ -15,7 +15,7 @@ class EnvTest : public ::testing::Test {
     for (const char* name : {"ADSE_TEST_VAR", "ADSE_CONFIGS",
                              "ADSE_CONFIGS_CONSTRAINED", "ADSE_THREADS",
                              "ADSE_SEED", "ADSE_CACHE_DIR", "ADSE_LOG_LEVEL",
-                             "ADSE_TRACE_FILE"}) {
+                             "ADSE_TRACE_FILE", "ADSE_BATCH_K"}) {
       unsetenv(name);
     }
   }
@@ -61,6 +61,16 @@ TEST_F(EnvTest, ObservabilityKnobs) {
   setenv("ADSE_TRACE_FILE", "/tmp/trace.json", 1);
   EXPECT_EQ(log_level_name(), "warn");
   EXPECT_EQ(trace_file(), "/tmp/trace.json");
+}
+
+TEST_F(EnvTest, BatchKnob) {
+  EXPECT_EQ(batch_k(), 8);  // default batch width
+  setenv("ADSE_BATCH_K", "16", 1);
+  EXPECT_EQ(batch_k(), 16);
+  setenv("ADSE_BATCH_K", "1", 1);  // <= 1 disables batched dispatch
+  EXPECT_EQ(batch_k(), 1);
+  setenv("ADSE_BATCH_K", "2048", 1);  // sanity cap
+  EXPECT_THROW(batch_k(), InvariantError);
 }
 
 TEST_F(EnvTest, TooSmallCampaignRejected) {

@@ -17,12 +17,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "config/baselines.hpp"
 #include "config/param_space.hpp"
 #include "kernels/workloads.hpp"
+#include "sim/batch_sim.hpp"
 #include "sim/hardware_proxy.hpp"
 #include "sim/simulation.hpp"
 
@@ -92,6 +95,35 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, GoldenCycles,
                          [](const auto& info) {
                            return std::string(kGolden[info.param].config);
                          });
+
+// The batched engine (sim::simulate_batch) must hit the same pinned counts
+// through its SoA/windowed-scheduling path: group the golden configs by
+// vector length (a batch shares one trace) and run each group as one batch
+// per app. Every one of the 36 pairs is asserted — the batched engine is a
+// throughput optimisation and must not move a single cycle either.
+TEST(GoldenCycles, BatchedPathBitIdentical) {
+  std::map<int, std::vector<std::size_t>> rows_by_vl;
+  for (std::size_t row = 0; row < std::size(kGolden); ++row) {
+    rows_by_vl[golden_config(row).core.vector_length_bits].push_back(row);
+  }
+  for (kernels::App app : kernels::all_apps()) {
+    for (const auto& [vl, rows] : rows_by_vl) {
+      const isa::Program program = kernels::build_app(app, vl);
+      std::vector<config::CpuConfig> configs;
+      configs.reserve(rows.size());
+      for (std::size_t row : rows) configs.push_back(golden_config(row));
+      const auto results = sim::simulate_batch(configs, program);
+      ASSERT_EQ(results.size(), rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(results[i].core.cycles,
+                  kGolden[rows[i]].cycles[static_cast<std::size_t>(app)])
+            << "config '" << kGolden[rows[i]].config << "' app "
+            << kernels::app_name(app) << " (batched lane " << i << ", VL "
+            << vl << ")";
+      }
+    }
+  }
+}
 
 // The hardware proxy runs the same core with fidelity effects enabled; its
 // scheduling must be equally unaffected. Pin the baseline proxy cycles that
