@@ -11,11 +11,15 @@
 ///   (e) single tree vs a bagged random forest (§VII's "more complex
 ///       surrogate model" future work).
 
+#include <cmath>
 #include <cstdio>
+#include <map>
 
+#include "analysis/analytical_features.hpp"
 #include "analysis/surrogate_eval.hpp"
 #include "bench/bench_util.hpp"
 #include "common/env.hpp"
+#include "eval/fused.hpp"
 #include "common/strings.hpp"
 #include "common/text_table.hpp"
 #include "ml/forest.hpp"
@@ -198,6 +202,85 @@ int main() {
     failures += bench::shape_check(
         forest_total > tree_total,
         "bagging recovers accuracy lost to the small campaign (forest > tree)");
+  }
+
+  // (f) pure forest vs the fused analytical x residual formulation
+  // (DESIGN.md SS 14): same split, same forest shape — the only change is
+  // the target. The fused model predicts cycles as
+  // analytical_min x exp(residual), so the forest only has to learn what
+  // the per-resource bounds cannot see.
+  {
+    TextTable table({"App", "forest mean acc.", "fused mean acc.",
+                     "forest R^2", "fused R^2"});
+    std::map<int, analysis::TraceSummary> summaries;  // keyed by (app<<16)|vl
+    const auto summary_for = [&summaries](kernels::App app,
+                                          int vl) -> const auto& {
+      const int key = (static_cast<int>(app) << 16) | vl;
+      auto it = summaries.find(key);
+      if (it == summaries.end()) {
+        it = summaries
+                 .emplace(key, analysis::summarize_trace(
+                                   kernels::build_app(app, vl)))
+                 .first;
+      }
+      return it->second;
+    };
+    // One (config, features, bound) triple per dataset row.
+    const auto residualize = [&summary_for](kernels::App app,
+                                            const ml::Dataset& ds) {
+      ml::Dataset residual;
+      residual.feature_names = eval::FusedModel::residual_feature_names();
+      std::vector<double> bounds;
+      for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+        std::array<double, config::kNumParams> raw{};
+        std::copy_n(ds.x[r].begin(), config::kNumParams, raw.begin());
+        const config::CpuConfig cfg = config::config_from_features(raw);
+        const analysis::AnalyticalFeatures features = analysis::analyze(
+            summary_for(app, cfg.core.vector_length_bits), cfg);
+        const double bound = static_cast<double>(features.min_cycles);
+        residual.add_row(eval::FusedModel::residual_row(cfg, features),
+                         std::log(std::max(ds.y[r], 1.0) / bound));
+        bounds.push_back(bound);
+      }
+      return std::pair{std::move(residual), std::move(bounds)};
+    };
+
+    double forest_total = 0, fused_total = 0;
+    for (kernels::App app : kernels::all_apps()) {
+      Rng rng(seed ^ 0xf00d);
+      auto split = ml::train_test_split(data.dataset(app), 0.8, rng);
+      ml::ForestOptions forest_opts;
+      forest_opts.num_trees = 40;
+      forest_opts.max_features = 10;
+
+      ml::RandomForestRegressor plain(forest_opts);
+      plain.fit(split.train);
+      const auto plain_pred = plain.predict_all(split.test);
+
+      const auto [res_train, train_bounds] = residualize(app, split.train);
+      const auto [res_test, test_bounds] = residualize(app, split.test);
+      ml::RandomForestRegressor residual_forest(forest_opts);
+      residual_forest.fit(res_train);
+      std::vector<double> fused_pred;
+      for (std::size_t r = 0; r < res_test.num_rows(); ++r) {
+        fused_pred.push_back(test_bounds[r] *
+                             std::exp(residual_forest.predict(res_test.x[r])));
+      }
+
+      const double fa = ml::mean_accuracy_percent(split.test.y, plain_pred);
+      const double ga = ml::mean_accuracy_percent(split.test.y, fused_pred);
+      forest_total += fa;
+      fused_total += ga;
+      table.add_row({kernels::app_name(app), format_fixed(fa, 2) + "%",
+                     format_fixed(ga, 2) + "%",
+                     format_fixed(ml::r2(split.test.y, plain_pred), 3),
+                     format_fixed(ml::r2(split.test.y, fused_pred), 3)});
+    }
+    std::printf("(f) pure forest vs fused analytical+residual (SS 14)\n%s\n",
+                table.render().c_str());
+    failures += bench::shape_check(
+        fused_total > forest_total,
+        "the analytical anchor improves the surrogate (fused > forest)");
   }
 
   return failures;

@@ -87,7 +87,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     obs::Span span("campaign.evaluate", "campaign");
     span.set_detail(spec.label + ": " + std::to_string(requests.size()) +
                     " runs");
-    results = service.evaluate(requests, nullptr, progress);
+    results = spec.fused != nullptr
+                  ? service.evaluate_routed(requests, *spec.fused, nullptr,
+                                            progress)
+                  : service.evaluate(requests, nullptr, progress);
   }
   {
     auto& registry = obs::Registry::global();
@@ -177,6 +180,9 @@ std::string cache_path(const CampaignSpec& spec) {
   if (spec.fixed_vector_length) {
     name += "_vl" + std::to_string(*spec.fixed_vector_length);
   }
+  // Tables containing surrogate-predicted cycles live in their own cache
+  // namespace — an all-sim caller must never load one by key collision.
+  if (spec.fused != nullptr) name += "_fused";
   return cache_dir() + "/" + name + ".csv";
 }
 

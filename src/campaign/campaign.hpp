@@ -20,6 +20,7 @@
 
 namespace adse::eval {
 class EvalService;
+class FusedModel;
 }  // namespace adse::eval
 
 namespace adse::campaign {
@@ -35,6 +36,15 @@ struct CampaignSpec {
   /// (what hermetic tests want).
   int threads = 0;
   bool verbose = true;              ///< progress lines on stderr
+  /// Fused-surrogate routing (DESIGN.md §14): when set, evaluations go
+  /// through `EvalService::evaluate_routed` with this model — the model
+  /// trains online on the campaign's own real-sim results and answers the
+  /// low-uncertainty remainder analytically. The model outlives the spec
+  /// (not owned); with its threshold at 0 the campaign is bit-identical to
+  /// the plain all-sim path. Fused campaigns are excluded from the CSV
+  /// cache's plain namespace (the cache key grows a "_fused" suffix):
+  /// surrogate-predicted cycles must never be served to an all-sim caller.
+  eval::FusedModel* fused = nullptr;
 };
 
 /// The assembled campaign data: one surrogate dataset per application (the

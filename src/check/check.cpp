@@ -1,162 +1,31 @@
 #include "check/check.hpp"
 
-#include <bit>
-#include <cmath>
+#include <algorithm>
 #include <sstream>
 
+#include "analysis/analytical_features.hpp"
 #include "common/require.hpp"
-#include "isa/ports.hpp"
-#include "mem/hierarchy.hpp"
 
 namespace adse::check {
 
-namespace {
-
-std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
-  return b == 0 ? 0 : (a + b - 1) / b;
+Oracle oracle_from(const analysis::TraceSummary& summary,
+                   const config::CpuConfig& config) {
+  const analysis::AnalyticalFeatures features =
+      analysis::analyze(summary, config);
+  Oracle oracle;
+  oracle.total_ops = summary.total_ops;
+  std::copy(std::begin(summary.by_group), std::end(summary.by_group),
+            std::begin(oracle.by_group));
+  oracle.sve_ops = summary.sve_ops;
+  oracle.fetch_bytes = features.fetch_bytes;
+  oracle.min_cycles = features.min_cycles;
+  oracle.max_cycles = features.max_cycles;
+  return oracle;
 }
-
-/// Lines spanned by one access — the same split MemoryHierarchy::access does.
-std::uint64_t lines_spanned(std::uint64_t addr, std::uint32_t size,
-                            std::uint32_t line_bytes) {
-  const std::uint64_t mask = ~static_cast<std::uint64_t>(line_bytes - 1);
-  const std::uint64_t first = addr & mask;
-  const std::uint64_t last = (addr + size - 1) & mask;
-  return (last - first) / line_bytes + 1;
-}
-
-/// The fetch stage streams an op from the loop buffer (no fetch-block bytes)
-/// under exactly this predicate — keep in sync with Core::stage_frontend.
-bool streams_from_loop_buffer(const isa::MicroOp& op,
-                              const config::CoreParams& core) {
-  return op.loop_body_size > 0 &&
-         op.loop_body_size <= core.loop_buffer_size &&
-         (op.flags & isa::kFlagFirstLoopIteration) == 0;
-}
-
-/// ceil(ops / ports able to serve them) for a set of groups, where `mask` is
-/// the union of the groups' port masks. Valid for any schedule: each port
-/// issues at most one µop per cycle.
-std::uint64_t port_bound(std::uint64_t ops, std::uint64_t mask) {
-  const int ports = std::popcount(mask);
-  return ports == 0 ? 0 : ceil_div(ops, static_cast<std::uint64_t>(ports));
-}
-
-}  // namespace
 
 Oracle reference_replay(const isa::Program& program,
                         const config::CpuConfig& config) {
-  ADSE_REQUIRE_MSG(!program.ops.empty(), "empty program");
-  Oracle oracle;
-
-  // ---- pass 1: retirement facts + fetch accounting (exact, in order) ------
-  std::uint64_t stored_bytes = 0;
-  for (const isa::MicroOp& op : program.ops) {
-    oracle.total_ops++;
-    oracle.by_group[static_cast<int>(op.group)]++;
-    if (op.is_sve()) oracle.sve_ops++;
-    if (!streams_from_loop_buffer(op, config.core)) {
-      oracle.fetch_bytes += isa::kInstrBytes;
-    }
-    if (op.group == isa::InstrGroup::kStore) stored_bytes += op.mem_size_bytes;
-  }
-
-  const auto count = [&](isa::InstrGroup g) {
-    return oracle.by_group[static_cast<int>(g)];
-  };
-  const std::uint64_t loads = count(isa::InstrGroup::kLoad);
-  const std::uint64_t stores = count(isa::InstrGroup::kStore);
-
-  // ---- lower bound: the best any schedule could do ------------------------
-  // Width limits (commit/dispatch/frontend handle at most W µops per cycle,
-  // and only on cycles the event loop enters).
-  std::uint64_t lb = 1;
-  const auto raise = [&lb](std::uint64_t candidate) {
-    if (candidate > lb) lb = candidate;
-  };
-  raise(ceil_div(oracle.total_ops,
-                 static_cast<std::uint64_t>(config.core.commit_width)));
-  raise(ceil_div(oracle.total_ops,
-                 static_cast<std::uint64_t>(config.backend.dispatch_width)));
-  raise(ceil_div(oracle.total_ops,
-                 static_cast<std::uint64_t>(config.core.frontend_width)));
-  // Fetch bandwidth: at most fetch_block_bytes of non-loop-buffer encoding
-  // per cycle.
-  raise(ceil_div(oracle.fetch_bytes,
-                 static_cast<std::uint64_t>(config.core.fetch_block_bytes)));
-  // Issue ports: every µop occupies exactly one port for one cycle. Bound
-  // each group against the union of ports able to serve it, plus the
-  // natural disjoint unions (L/S pair, vector+predicate, the mixed pipes).
-  const isa::PortLayout ports(config.backend.ls_ports, config.backend.vec_ports,
-                              config.backend.pred_ports,
-                              config.backend.mix_ports);
-  const auto group_mask = [&ports](isa::InstrGroup g) {
-    const auto& m = ports.masks_for(g);
-    return m.primary | m.fallback;
-  };
-  std::uint64_t all_ops_mask = 0;
-  for (int g = 0; g < isa::kNumInstrGroups; ++g) {
-    const auto group = static_cast<isa::InstrGroup>(g);
-    raise(port_bound(oracle.by_group[g], group_mask(group)));
-    all_ops_mask |= group_mask(group);
-  }
-  raise(port_bound(oracle.total_ops, all_ops_mask));
-  raise(port_bound(loads + stores, group_mask(isa::InstrGroup::kLoad) |
-                                       group_mask(isa::InstrGroup::kStore)));
-  raise(port_bound(count(isa::InstrGroup::kVec) + count(isa::InstrGroup::kPred),
-                   group_mask(isa::InstrGroup::kVec) |
-                       group_mask(isa::InstrGroup::kPred)));
-  raise(port_bound(count(isa::InstrGroup::kInt) +
-                       count(isa::InstrGroup::kIntMul) +
-                       count(isa::InstrGroup::kFp) +
-                       count(isa::InstrGroup::kFpDiv) +
-                       count(isa::InstrGroup::kBranch),
-                   group_mask(isa::InstrGroup::kInt) |
-                       group_mask(isa::InstrGroup::kIntMul) |
-                       group_mask(isa::InstrGroup::kFp) |
-                       group_mask(isa::InstrGroup::kFpDiv) |
-                       group_mask(isa::InstrGroup::kBranch)));
-  // Store traffic: stores are never forwarded away — each costs a memory
-  // request slot, a store-send slot and store bandwidth. (Loads can be
-  // served from the store buffer, so they admit no such bound.)
-  raise(ceil_div(stores,
-                 static_cast<std::uint64_t>(config.core.mem_stores_per_cycle)));
-  raise(ceil_div(stores, static_cast<std::uint64_t>(
-                             config.core.mem_requests_per_cycle)));
-  raise(ceil_div(stored_bytes, static_cast<std::uint64_t>(
-                                   config.core.store_bandwidth_bytes)));
-  oracle.min_cycles = lb;
-
-  // ---- upper bound: fully serialised replay -------------------------------
-  // One op at a time: a full pipeline traversal plus its execution latency,
-  // and for memory ops every line priced as a cold miss through every level
-  // — own port slots, both dirty-writeback slots, the prefetch traffic it
-  // may trigger, and the full L1+L2+RAM latency path. The hierarchy instance
-  // supplies the exact clock-domain conversions.
-  const mem::MemoryHierarchy pricing(config.mem, config::kCoreClockGhz);
-  const double prefetch_traffic =
-      static_cast<double>(config.mem.prefetch_distance) *
-      (pricing.l2_interval_core() + 2.0 * pricing.ram_interval_core());
-  const double line_cost =
-      pricing.l1_interval_core() + 2.0 * pricing.l2_interval_core() +
-      2.0 * pricing.ram_interval_core() + prefetch_traffic +
-      pricing.l1_latency_core() + pricing.l2_latency_core() +
-      pricing.ram_latency_core();
-  double serial = 0.0;
-  for (const isa::MicroOp& op : program.ops) {
-    serial += kSerialPerOpOverhead + isa::execution_latency(op.group);
-    if (op.is_memory()) {
-      serial += static_cast<double>(
-                    lines_spanned(op.mem_addr, op.mem_size_bytes,
-                                  static_cast<std::uint32_t>(
-                                      config.mem.cache_line_bytes))) *
-                line_cost;
-    }
-  }
-  oracle.max_cycles =
-      static_cast<std::uint64_t>(std::ceil(serial)) + kSerialSlackCycles;
-
-  return oracle;
+  return oracle_from(analysis::summarize_trace(program), config);
 }
 
 std::vector<std::string> verify_run(const config::CpuConfig& config,

@@ -25,18 +25,19 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analytical_features.hpp"
 #include "config/cpu_config.hpp"
 #include "isa/program.hpp"
 #include "sim/simulation.hpp"
 
 namespace adse::check {
 
-/// Serial-model pricing constants (documented in DESIGN.md §10). Every op
-/// pays the full pipeline traversal; the slack absorbs drain effects at the
-/// very start/end of a run. Both are part of the oracle's contract: tests
-/// hand-compute expected bounds from them.
-inline constexpr int kSerialPerOpOverhead = 8;
-inline constexpr int kSerialSlackCycles = 64;
+/// Serial-model pricing constants (documented in DESIGN.md §10) — now owned
+/// by the shared analytical-feature extractor (analysis::analyze computes
+/// the Oracle's bounds); re-exported here because tests hand-compute
+/// expected bounds from them under these names.
+inline constexpr int kSerialPerOpOverhead = analysis::kSerialPerOpOverhead;
+inline constexpr int kSerialSlackCycles = analysis::kSerialSlackCycles;
 
 /// Config-independent retirement facts plus config-dependent cycle bounds
 /// for one (trace, configuration) pair.
@@ -57,8 +58,15 @@ struct Oracle {
 
 /// Replays `program` through the in-order scalar reference model under
 /// `config` and returns the oracle facts. Pure function of its inputs.
+/// A thin consumer of the shared analytical extractor: one
+/// analysis::summarize_trace pass plus an O(1) analysis::analyze call.
 Oracle reference_replay(const isa::Program& program,
                         const config::CpuConfig& config);
+
+/// The config-dependent half of reference_replay for callers that already
+/// hold a TraceSummary (the fuzzer probing many configs against one trace).
+Oracle oracle_from(const analysis::TraceSummary& summary,
+                   const config::CpuConfig& config);
 
 /// Verifies a completed simulation against the oracle and the structural
 /// accounting identities. Returns one human-readable string per violated

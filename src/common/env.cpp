@@ -20,6 +20,16 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return parse_int(v);
 }
 
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  ADSE_REQUIRE_MSG(end != v && *end == '\0',
+                   "malformed float in " << name << ": '" << v << "'");
+  return parsed;
+}
+
 std::string cache_dir() { return env_string("ADSE_CACHE_DIR", "./adse_cache"); }
 
 std::int64_t main_campaign_configs() {
@@ -49,6 +59,18 @@ std::int64_t batch_k() {
   const std::int64_t k = env_int("ADSE_BATCH_K", 8);
   ADSE_REQUIRE_MSG(k <= 1024, "ADSE_BATCH_K must be <= 1024, got " << k);
   return k;
+}
+
+double fused_threshold() {
+  const double t = env_double("ADSE_FUSED_THRESHOLD", 1.0);
+  ADSE_REQUIRE_MSG(t >= 0.0, "ADSE_FUSED_THRESHOLD must be >= 0, got " << t);
+  return t;
+}
+
+std::int64_t fused_probe_every() {
+  const std::int64_t n = env_int("ADSE_FUSED_PROBE_EVERY", 64);
+  ADSE_REQUIRE_MSG(n >= 0, "ADSE_FUSED_PROBE_EVERY must be >= 0, got " << n);
+  return n;
 }
 
 std::string log_level_name() { return env_string("ADSE_LOG_LEVEL", "info"); }

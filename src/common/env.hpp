@@ -15,6 +15,9 @@ std::string env_string(const char* name, const std::string& fallback);
 /// Reads an integer environment variable; throws on malformed values.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 
+/// Reads a floating-point environment variable; throws on malformed values.
+double env_double(const char* name, double fallback);
+
 /// Directory where campaign datasets are cached (ADSE_CACHE_DIR,
 /// default "./adse_cache"). Created on demand by the campaign runner.
 std::string cache_dir();
@@ -40,6 +43,24 @@ std::uint64_t campaign_seed();
 /// once by `eval::EvalService` construction — the service chunks same-
 /// (app, VL) requests into batches of at most this many lanes.
 std::int64_t batch_k();
+
+/// Uncertainty gate for fused-surrogate routing (ADSE_FUSED_THRESHOLD,
+/// default 1.0): a candidate whose residual-forest predictive spread (std
+/// of log-residual across the ensemble) is below this is answered by the
+/// fused surrogate; the rest run on the real simulator. Typical spreads sit
+/// at 0.3–1.0 for online-sized training sets, so the default routes
+/// aggressively and relies on the probe batches to price the error; lower
+/// it for accuracy-critical campaigns. 0 disables routing entirely — every
+/// request takes the all-sim path, bit-identically. Read once by
+/// `eval::fused_options_from_env()`.
+double fused_threshold();
+
+/// Audit cadence for surrogate-routed evaluations (ADSE_FUSED_PROBE_EVERY,
+/// default 64): every Nth candidate the gate would hand to the surrogate is
+/// simulated for real instead — the pair (prediction, truth) lands in the
+/// routing-error histogram and the observation feeds the next residual
+/// refit. 0 disables probing. Read once by `eval::fused_options_from_env()`.
+std::int64_t fused_probe_every();
 
 /// Minimum log level for the obs leveled logger (ADSE_LOG_LEVEL: trace,
 /// debug, info, warn, error, off; default "info"). Parsed and cached once

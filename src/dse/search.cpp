@@ -57,7 +57,10 @@ std::vector<EvaluatedConfig> evaluate_batch(
       requests.push_back({e.config, app});
     }
   }
-  const auto results = service.evaluate(requests);
+  const auto results =
+      options.fused != nullptr
+          ? service.evaluate_routed(requests, *options.fused)
+          : service.evaluate(requests);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EvaluatedConfig& e = out[i];
     for (std::size_t a = 0; a < apps.size(); ++a) {

@@ -28,6 +28,7 @@
 
 namespace adse::eval {
 class EvalService;
+class FusedModel;
 }  // namespace adse::eval
 
 namespace adse::dse {
@@ -89,6 +90,13 @@ struct SearchOptions {
   /// Publish journal + evaluation state CSVs after every round and resume
   /// from existing state on start. Off = fully in-memory (tests).
   bool persist = true;
+  /// Fused-surrogate routing (DESIGN.md §14): when set, every evaluation
+  /// batch goes through `EvalService::evaluate_routed` with this model —
+  /// high-confidence candidates are answered analytically, the rest (plus
+  /// the periodic probes) still pay for real simulation and feed the
+  /// model's online refits. Not owned. With the model's threshold at 0 the
+  /// search is bit-identical to the plain all-sim path.
+  eval::FusedModel* fused = nullptr;
 };
 
 /// One simulated configuration. In kSingleApp / kCyclesEnergyArea mode only

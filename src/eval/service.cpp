@@ -57,6 +57,11 @@ EvalService::EvalService(EvalOptions options)
       memo_hits_(&metrics_->counter("eval.memo_hits")),
       store_hits_(&metrics_->counter("eval.store_hits")),
       inflight_joins_(&metrics_->counter("eval.inflight_joins")),
+      routed_surrogate_(&metrics_->counter("eval.routed_surrogate")),
+      routed_sim_(&metrics_->counter("eval.routed_sim")),
+      fused_probes_(&metrics_->counter("eval.fused_probes")),
+      residual_refits_(&metrics_->counter("eval.residual_refits")),
+      routing_error_pct_(&metrics_->histogram("eval.routing_error_pct")),
       batch_width_(&metrics_->histogram("eval.batch_width")),
       pool_threads_(&metrics_->gauge("eval.pool_threads")),
       pool_queue_depth_(&metrics_->gauge("eval.pool_queue_depth")),
@@ -236,6 +241,97 @@ std::vector<EvalResult> EvalService::evaluate(
     run_one(0);
   } else {
     pool_.parallel_for(requests.size(), run_one);
+  }
+  return out;
+}
+
+std::vector<EvalResult> EvalService::evaluate_routed(
+    std::span<const EvalRequest> requests, FusedModel& model,
+    const Backend* sim_backend, const Progress& progress) {
+  const Backend& sim = sim_backend != nullptr ? *sim_backend : simulator_;
+  if (model.options().threshold <= 0.0) {
+    // Route nothing: the plain all-sim path, bit-identically (no model
+    // reads, no observations — the policy is entirely out of the loop).
+    return evaluate(requests, &sim, progress);
+  }
+
+  std::vector<EvalResult> out(requests.size());
+  if (requests.empty()) return out;
+  obs::Span span("eval.routed_batch", "eval");
+  span.set_detail(std::to_string(requests.size()) + " requests");
+  FusedBackend fused(model);
+  std::size_t completed = 0;
+  const auto note_round = [&](std::size_t done_in_round) {
+    completed += done_in_round;
+    if (progress) progress(completed, requests.size());
+  };
+
+  const std::size_t round =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   model.options().round_size));
+  for (std::size_t start = 0; start < requests.size(); start += round) {
+    const std::span<const EvalRequest> window =
+        requests.subspan(start, std::min(round, requests.size() - start));
+
+    // Gate each candidate with the model as of the previous round. A probe
+    // is a surrogate-eligible candidate the probe clock diverts to the
+    // simulator anyway — its prediction is remembered so truth can price it.
+    std::vector<std::size_t> sim_members;     // window-relative indices
+    std::vector<std::size_t> fused_members;
+    std::vector<std::pair<std::size_t, double>> probes;  // (member, predicted)
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const FusedPrediction prediction =
+          model.predict(window[i].app, window[i].config);
+      const bool eligible = prediction.ready &&
+                            prediction.spread < model.options().threshold;
+      if (eligible && model.take_probe_tick()) {
+        probes.emplace_back(sim_members.size(), prediction.cycles);
+        sim_members.push_back(i);
+      } else if (eligible) {
+        fused_members.push_back(i);
+      } else {
+        sim_members.push_back(i);
+      }
+    }
+
+    // Real-simulator side (including probes): the normal batched path, then
+    // every fresh truth feeds the residual model.
+    std::vector<EvalRequest> sim_requests;
+    sim_requests.reserve(sim_members.size());
+    for (const std::size_t i : sim_members) sim_requests.push_back(window[i]);
+    const std::vector<EvalResult> sim_results = evaluate(sim_requests, &sim);
+    routed_sim_->add(sim_results.size());
+    for (std::size_t m = 0; m < sim_members.size(); ++m) {
+      out[start + sim_members[m]] = sim_results[m];
+      if (model.observe(window[sim_members[m]].app,
+                        window[sim_members[m]].config,
+                        static_cast<double>(sim_results[m].cycles()))) {
+        residual_refits_->add(1);
+      }
+    }
+    for (const auto& [m, predicted] : probes) {
+      fused_probes_->add(1);
+      const double truth = static_cast<double>(sim_results[m].cycles());
+      if (truth > 0.0) {
+        routing_error_pct_->observe(std::abs(predicted - truth) / truth *
+                                    100.0);
+      }
+    }
+
+    // Surrogate side: served through the memo like any backend (and never
+    // persisted — FusedBackend::persistable() is false).
+    std::vector<EvalRequest> fused_requests;
+    fused_requests.reserve(fused_members.size());
+    for (const std::size_t i : fused_members) {
+      fused_requests.push_back(window[i]);
+    }
+    const std::vector<EvalResult> fused_results =
+        evaluate(fused_requests, &fused);
+    routed_surrogate_->add(fused_results.size());
+    for (std::size_t m = 0; m < fused_members.size(); ++m) {
+      out[start + fused_members[m]] = fused_results[m];
+    }
+    note_round(window.size());
   }
   return out;
 }

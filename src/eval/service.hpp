@@ -40,6 +40,7 @@
 #include "config/cpu_config.hpp"
 #include "eval/backend.hpp"
 #include "eval/eval_stats.hpp"
+#include "eval/fused.hpp"
 #include "eval/result_store.hpp"
 #include "eval/trace_cache.hpp"
 #include "kernels/workloads.hpp"
@@ -108,6 +109,26 @@ class EvalService {
   /// Single-request form; runs on the calling thread (no pool hop).
   EvalResult evaluate_one(const EvalRequest& request,
                           const Backend* backend = nullptr);
+
+  /// The uncertainty-gated routing policy (DESIGN.md §14): requests are
+  /// processed in rounds of model.options().round_size; within a round each
+  /// candidate is gated on the residual model's predictive spread — below
+  /// the threshold the fused surrogate answers (a FusedBackend evaluation:
+  /// memoised, never persisted), the rest run on `sim_backend` (default:
+  /// the batched cycle simulator). Every real result feeds model.observe,
+  /// so later rounds route more traffic to the surrogate; every
+  /// probe_every-th surrogate-eligible candidate is simulated anyway and
+  /// its |prediction − truth| lands in the "eval.routing_error_pct"
+  /// histogram. Counters: "eval.routed_surrogate", "eval.routed_sim",
+  /// "eval.fused_probes", "eval.residual_refits".
+  ///
+  /// Safe by construction: threshold <= 0 (ADSE_FUSED_THRESHOLD=0) is a
+  /// pure pass-through to evaluate() — bit-identical results, memo and
+  /// store traffic to the all-sim path.
+  std::vector<EvalResult> evaluate_routed(std::span<const EvalRequest> requests,
+                                          FusedModel& model,
+                                          const Backend* sim_backend = nullptr,
+                                          const Progress& progress = {});
 
   /// An evaluation outcome with model-invariant failures carried as data.
   struct CheckedResult {
@@ -229,6 +250,11 @@ class EvalService {
   obs::Counter* memo_hits_;
   obs::Counter* store_hits_;
   obs::Counter* inflight_joins_;
+  obs::Counter* routed_surrogate_;
+  obs::Counter* routed_sim_;
+  obs::Counter* fused_probes_;
+  obs::Counter* residual_refits_;
+  obs::Histogram* routing_error_pct_;
   obs::Histogram* batch_width_;
   obs::Gauge* pool_threads_;
   obs::Gauge* pool_queue_depth_;

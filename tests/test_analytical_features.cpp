@@ -1,0 +1,188 @@
+/// \file test_analytical_features.cpp
+/// The shared analytical extractor verified on fixed tiny traces with
+/// hand-computed per-resource throughput values, plus the structural
+/// contracts the Oracle and the fused surrogate both lean on: min_cycles is
+/// the max of the named bounds, the summary answers fetch/line queries for
+/// every loop-buffer and line-width without re-decoding, and the extractor
+/// agrees exactly with check::reference_replay on the anchor configs.
+
+#include "analysis/analytical_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "common/require.hpp"
+#include "config/baselines.hpp"
+#include "kernels/kernel_builder.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::analysis {
+namespace {
+
+using config::CpuConfig;
+using kernels::gp;
+
+isa::Program straight_line(int n, isa::InstrGroup group) {
+  kernels::KernelBuilder b("hand");
+  for (int i = 0; i < n; ++i) b.op(group, gp(1), gp(2));
+  return b.take();
+}
+
+// ---- hand-computed per-resource bounds -------------------------------------
+
+TEST(AnalyticalFeatures, SixIntOpsOnBaseline) {
+  // ThunderX2 baseline: commit = dispatch = frontend = 4 wide, 3 mixed
+  // (INT/FP/branch) ports, 9 issue ports total, 32 B fetch blocks.
+  const TraceSummary summary =
+      summarize_trace(straight_line(6, isa::InstrGroup::kInt));
+  const AnalyticalFeatures f =
+      analyze(summary, config::thunderx2_baseline());
+
+  EXPECT_EQ(f.commit_bound, 2u);     // ceil(6/4)
+  EXPECT_EQ(f.dispatch_bound, 2u);   // ceil(6/4)
+  EXPECT_EQ(f.frontend_bound, 2u);   // ceil(6/4)
+  EXPECT_EQ(f.fetch_bytes, 24u);     // 6 x 4 B, nothing loop-streamed
+  EXPECT_EQ(f.fetch_bound, 1u);      // ceil(24/32)
+  EXPECT_EQ(f.port_group_bound, 2u); // ceil(6 INT / 3 mixed ports)
+  EXPECT_EQ(f.port_scalar_bound, 2u);
+  EXPECT_EQ(f.port_all_bound, 1u);   // ceil(6 / 9 ports)
+  EXPECT_EQ(f.port_ls_bound, 0u);    // no memory ops
+  EXPECT_EQ(f.port_vecpred_bound, 0u);
+  EXPECT_EQ(f.store_send_bound, 0u);
+  EXPECT_EQ(f.min_cycles, 2u);
+
+  // Serial replay: 6 x (overhead + 1-cycle INT latency), no memory walk.
+  EXPECT_EQ(f.serial_exec_cycles,
+            6u * static_cast<std::uint64_t>(kSerialPerOpOverhead + 1));
+  EXPECT_EQ(f.memory_lines, 0u);
+  EXPECT_EQ(f.max_cycles, 6u * (kSerialPerOpOverhead + 1) +
+                              static_cast<std::uint64_t>(kSerialSlackCycles));
+}
+
+TEST(AnalyticalFeatures, StoreDrainBounds) {
+  // 5 stores of 8 B. Baseline drains 1 store/cycle (send), 3 requests/cycle
+  // and 16 B/cycle of store bandwidth.
+  kernels::KernelBuilder b("stores");
+  for (int i = 0; i < 5; ++i) {
+    b.store(0x1000 + 8 * static_cast<std::uint64_t>(i), 8, gp(1), gp(2));
+  }
+  const TraceSummary summary = summarize_trace(b.take());
+  EXPECT_EQ(summary.stores(), 5u);
+  EXPECT_EQ(summary.stored_bytes, 40u);
+
+  const AnalyticalFeatures f =
+      analyze(summary, config::thunderx2_baseline());
+  EXPECT_EQ(f.store_send_bound, 5u);      // ceil(5/1)
+  EXPECT_EQ(f.store_request_bound, 2u);   // ceil(5/3)
+  EXPECT_EQ(f.store_bandwidth_bound, 3u); // ceil(40/16)
+  EXPECT_EQ(f.min_cycles, 5u);
+}
+
+TEST(AnalyticalFeatures, MinCyclesIsTheMaxOfEveryNamedBound) {
+  const CpuConfig cfg = config::thunderx2_baseline();
+  for (kernels::App app : kernels::all_apps()) {
+    const TraceSummary summary = summarize_trace(
+        kernels::build_app(app, cfg.core.vector_length_bits));
+    const AnalyticalFeatures f = analyze(summary, cfg);
+    const std::uint64_t bounds[] = {
+        f.commit_bound,     f.dispatch_bound,      f.frontend_bound,
+        f.fetch_bound,      f.port_group_bound,    f.port_all_bound,
+        f.port_ls_bound,    f.port_vecpred_bound,  f.port_scalar_bound,
+        f.store_send_bound, f.store_request_bound, f.store_bandwidth_bound};
+    const std::uint64_t expected =
+        std::max<std::uint64_t>(1, *std::max_element(std::begin(bounds),
+                                                     std::end(bounds)));
+    EXPECT_EQ(f.min_cycles, expected) << kernels::app_slug(app);
+    EXPECT_LE(f.min_cycles, f.max_cycles) << kernels::app_slug(app);
+  }
+}
+
+// ---- the config-independent summary ----------------------------------------
+
+TEST(TraceSummary, StreamabilityTableAnswersEveryLoopBufferSize) {
+  // 3 iterations of a 3-op body: 9 ops, 6 of which (iterations 2 and 3)
+  // stream once the body fits the buffer.
+  kernels::KernelBuilder b("loop");
+  b.begin_loop();
+  for (int iter = 0; iter < 3; ++iter) {
+    b.begin_iteration();
+    b.op(isa::InstrGroup::kInt, gp(1));
+    b.op(isa::InstrGroup::kInt, gp(2));
+    b.branch();
+    b.end_iteration();
+  }
+  b.end_loop();
+  const TraceSummary summary = summarize_trace(b.take());
+
+  EXPECT_EQ(summary.total_ops, 9u);
+  EXPECT_EQ(summary.streamable_ops(2), 0u);   // body spills a 2-entry buffer
+  EXPECT_EQ(summary.streamable_ops(3), 6u);   // exact fit
+  EXPECT_EQ(summary.streamable_ops(512), 6u); // larger buffers gain nothing
+  EXPECT_EQ(summary.fetch_bytes(2), 9u * isa::kInstrBytes);
+  EXPECT_EQ(summary.fetch_bytes(32), 3u * isa::kInstrBytes);
+}
+
+TEST(TraceSummary, LineWalkTotalsPerWidth) {
+  // One 8 B load at 0x103c straddles a 32 B and a 64 B boundary (0x1040)
+  // but sits inside one 128 B (and 256 B) line.
+  kernels::KernelBuilder b("straddle");
+  b.load(gp(1), 0x103c, 8, gp(2));
+  const TraceSummary summary = summarize_trace(b.take());
+  EXPECT_EQ(summary.lines_for(32), 2u);
+  EXPECT_EQ(summary.lines_for(64), 2u);
+  EXPECT_EQ(summary.lines_for(128), 1u);
+  EXPECT_EQ(summary.lines_for(256), 1u);
+  EXPECT_THROW(summary.lines_for(16), InvariantError);
+}
+
+TEST(TraceSummary, EmptyProgramThrows) {
+  EXPECT_THROW(summarize_trace(isa::Program{}), InvariantError);
+}
+
+// ---- agreement with the Oracle (one implementation, two consumers) ---------
+
+TEST(AnalyticalFeatures, MatchesReferenceReplayOnAnchorConfigs) {
+  for (const CpuConfig& cfg :
+       {config::thunderx2_baseline(), config::minimal_viable(),
+        config::big_future(), config::a64fx_like()}) {
+    for (kernels::App app : kernels::all_apps()) {
+      const isa::Program trace =
+          kernels::build_app(app, cfg.core.vector_length_bits);
+      const TraceSummary summary = summarize_trace(trace);
+      const AnalyticalFeatures f = analyze(summary, cfg);
+      const check::Oracle oracle = check::reference_replay(trace, cfg);
+      EXPECT_EQ(f.min_cycles, oracle.min_cycles)
+          << cfg.name << "/" << kernels::app_slug(app);
+      EXPECT_EQ(f.max_cycles, oracle.max_cycles)
+          << cfg.name << "/" << kernels::app_slug(app);
+      EXPECT_EQ(f.fetch_bytes, oracle.fetch_bytes)
+          << cfg.name << "/" << kernels::app_slug(app);
+      EXPECT_EQ(summary.total_ops, oracle.total_ops);
+      EXPECT_EQ(summary.sve_ops, oracle.sve_ops);
+    }
+  }
+}
+
+// ---- the ML row -------------------------------------------------------------
+
+TEST(AnalyticalFeatures, MlRowMatchesNamesAndIsFinite) {
+  const TraceSummary summary = summarize_trace(
+      kernels::build_app(kernels::App::kStream, 256));
+  const AnalyticalFeatures f =
+      analyze(summary, config::thunderx2_baseline());
+  const std::vector<double> row = f.ml_features();
+  EXPECT_EQ(row.size(), AnalyticalFeatures::ml_feature_names().size());
+  for (const double v : row) EXPECT_TRUE(std::isfinite(v));
+  // Fractions partition sanity: every mix share lives in [0, 1].
+  for (const double frac :
+       {f.sve_fraction, f.load_fraction, f.store_fraction, f.vec_fraction,
+        f.branch_fraction, f.fpdiv_fraction}) {
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace adse::analysis

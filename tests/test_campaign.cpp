@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/require.hpp"
+#include "eval/fused.hpp"
 
 namespace adse::campaign {
 namespace {
@@ -90,6 +91,28 @@ TEST(Campaign, VlPinIsRespected) {
   const CampaignResult result = run_campaign(spec);
   const auto vl = result.table.column("vector_length_bits");
   for (double v : vl) EXPECT_DOUBLE_EQ(v, 512.0);
+}
+
+TEST(Campaign, FusedThresholdZeroIsBitIdenticalToAllSim) {
+  // The acceptance gate for the routed path: with the routing threshold at 0
+  // the fused campaign takes the pure pass-through (no model reads, no
+  // observations) and its table is bit-identical to the all-sim run.
+  eval::FusedOptions options;
+  options.threshold = 0.0;
+  eval::FusedModel model(options);
+  CampaignSpec fused_spec = tiny_spec();
+  fused_spec.fused = &model;
+  const CampaignResult plain = run_campaign(tiny_spec());
+  const CampaignResult routed = run_campaign(fused_spec);
+  EXPECT_EQ(plain.table.rows, routed.table.rows);
+  EXPECT_EQ(model.refits(), 0u);
+  for (kernels::App app : kernels::all_apps()) {
+    EXPECT_EQ(model.observations(app), 0u);
+  }
+  // Routed tables still live in their own cache namespace, even at
+  // threshold 0 — an all-sim caller must never load one by key collision.
+  EXPECT_NE(cache_path(fused_spec).find("_fused"), std::string::npos);
+  EXPECT_EQ(cache_path(tiny_spec()).find("_fused"), std::string::npos);
 }
 
 TEST(Campaign, ResultFromTableRoundTrips) {

@@ -15,7 +15,8 @@ class EnvTest : public ::testing::Test {
     for (const char* name : {"ADSE_TEST_VAR", "ADSE_CONFIGS",
                              "ADSE_CONFIGS_CONSTRAINED", "ADSE_THREADS",
                              "ADSE_SEED", "ADSE_CACHE_DIR", "ADSE_LOG_LEVEL",
-                             "ADSE_TRACE_FILE", "ADSE_BATCH_K"}) {
+                             "ADSE_TRACE_FILE", "ADSE_BATCH_K",
+                             "ADSE_FUSED_THRESHOLD", "ADSE_FUSED_PROBE_EVERY"}) {
       unsetenv(name);
     }
   }
@@ -71,6 +72,29 @@ TEST_F(EnvTest, BatchKnob) {
   EXPECT_EQ(batch_k(), 1);
   setenv("ADSE_BATCH_K", "2048", 1);  // sanity cap
   EXPECT_THROW(batch_k(), InvariantError);
+}
+
+TEST_F(EnvTest, DoubleFallbackAndParse) {
+  EXPECT_DOUBLE_EQ(env_double("ADSE_TEST_VAR", 1.5), 1.5);
+  setenv("ADSE_TEST_VAR", "0.125", 1);
+  EXPECT_DOUBLE_EQ(env_double("ADSE_TEST_VAR", 1.5), 0.125);
+  setenv("ADSE_TEST_VAR", "not-a-number", 1);
+  EXPECT_THROW(env_double("ADSE_TEST_VAR", 1.5), InvariantError);
+  setenv("ADSE_TEST_VAR", "1.5abc", 1);  // trailing junk is rejected too
+  EXPECT_THROW(env_double("ADSE_TEST_VAR", 1.5), InvariantError);
+}
+
+TEST_F(EnvTest, FusedRoutingKnobs) {
+  EXPECT_DOUBLE_EQ(fused_threshold(), 1.0);
+  EXPECT_EQ(fused_probe_every(), 64);
+  setenv("ADSE_FUSED_THRESHOLD", "0", 1);  // 0 = route nothing (all-sim)
+  setenv("ADSE_FUSED_PROBE_EVERY", "0", 1);  // 0 = probing disabled
+  EXPECT_DOUBLE_EQ(fused_threshold(), 0.0);
+  EXPECT_EQ(fused_probe_every(), 0);
+  setenv("ADSE_FUSED_THRESHOLD", "-0.1", 1);
+  EXPECT_THROW(fused_threshold(), InvariantError);
+  setenv("ADSE_FUSED_PROBE_EVERY", "-1", 1);
+  EXPECT_THROW(fused_probe_every(), InvariantError);
 }
 
 TEST_F(EnvTest, TooSmallCampaignRejected) {

@@ -9,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "config/baselines.hpp"
+#include "eval/fused.hpp"
 #include "eval/result_store.hpp"
 #include "eval/trace_cache.hpp"
 #include "ml/forest.hpp"
@@ -218,6 +220,130 @@ TEST(EvalService, SurrogateBackendIsNotPersisted) {
             ResultSource::kMemo);
 
   std::filesystem::remove_all(dir);
+}
+
+/// Makes `model` ready for kStream by feeding `n` distinct synthetic
+/// observations (rob_size varied; cycles = analytical bound × residual(i)).
+/// Pick min_observations == n so the single refit trains on every row.
+void train_stream(FusedModel& model, int n, double (*residual)(int)) {
+  for (int i = 0; i < n; ++i) {
+    config::CpuConfig cfg = config::thunderx2_baseline();
+    cfg.core.rob_size = 64 + 16 * i;
+    const double bound =
+        model.predict(kernels::App::kStream, cfg).analytical_min;
+    model.observe(kernels::App::kStream, cfg, bound * std::exp(residual(i)));
+  }
+}
+
+TEST(EvalService, FusedBackendIsNotPersisted) {
+  const auto dir = std::filesystem::temp_directory_path() / "adse_eval_fused";
+  std::filesystem::remove_all(dir);
+  const std::string store = (dir / "eval_store.bin").string();
+
+  FusedOptions options;
+  options.forest.num_trees = 3;
+  options.min_observations = 6;
+  FusedModel model(options);
+  train_stream(model, 6,
+               [](int i) { return 0.5 + 0.01 * static_cast<double>(i); });
+  EXPECT_GE(model.refits(), 1u);
+  const FusedBackend fused(model);
+  EXPECT_FALSE(fused.persistable());
+  EXPECT_FALSE(fused.needs_trace());
+
+  {
+    EvalService service(hermetic(1, store));
+    const EvalResult predicted =
+        service.evaluate_one(stream_request(), &fused);
+    EXPECT_GE(predicted.cycles(), 1u);
+    EXPECT_EQ(predicted.source, ResultSource::kBackend);
+    // Model output must never reach the on-disk store.
+    EXPECT_EQ(service.stats().store_appended, 0u);
+    // But it is memoised like any other backend.
+    EXPECT_EQ(service.evaluate_one(stream_request(), &fused).source,
+              ResultSource::kMemo);
+    // A real simulator run of the very same point IS persisted — the store
+    // now holds this (config, app) under the simulator's key only.
+    service.evaluate_one(stream_request());
+    EXPECT_EQ(service.stats().store_appended, 1u);
+  }
+
+  // The warm store must not satisfy fused-backend keys: the same request
+  // through the fused backend runs the model afresh instead of aliasing the
+  // persisted simulator record.
+  EvalService warm(hermetic(1, store));
+  EXPECT_EQ(warm.stats().store_loaded, 1u);
+  const EvalResult served = warm.evaluate_one(stream_request(), &fused);
+  EXPECT_EQ(served.source, ResultSource::kBackend);
+  EXPECT_EQ(warm.stats().store_hits, 0u);
+  // While the simulator-keyed request still hits the disk record.
+  EXPECT_EQ(warm.evaluate_one(stream_request()).source, ResultSource::kStore);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EvalService, RoutedEvaluationGatesOnResidualSpread) {
+  // Two training clusters for kStream: small-ROB configs carry an exactly
+  // constant residual (every tree's leaves agree there → spread ~0); the
+  // large-ROB cluster's residuals are seeded noise (bootstrap resamples
+  // disagree → positive spread). The routing threshold is then calibrated
+  // between the two measured spreads, making the gate's decision — answer
+  // the confident query from the model, simulate the uncertain one —
+  // deterministic.
+  FusedOptions options;
+  options.forest.num_trees = 12;
+  options.probe_every = 0;  // no probe clock: pure threshold routing
+  options.round_size = 8;
+  options.min_observations = 32;
+  FusedModel model(options);
+  Rng noise(7);
+  for (int i = 0; i < 32; ++i) {
+    config::CpuConfig cfg = config::thunderx2_baseline();
+    const bool low_cluster = i < 16;
+    cfg.core.rob_size = low_cluster ? 32 + 2 * i : 448 + 2 * i;
+    const double bound =
+        model.predict(kernels::App::kStream, cfg).analytical_min;
+    const double residual = low_cluster ? 0.5 : 0.5 + noise.uniform01();
+    model.observe(kernels::App::kStream, cfg, bound * std::exp(residual));
+  }
+  ASSERT_GE(model.refits(), 1u);
+
+  config::CpuConfig confident = config::thunderx2_baseline();
+  confident.core.rob_size = 49;  // inside the constant-residual cluster
+  config::CpuConfig uncertain = config::thunderx2_baseline();
+  uncertain.core.rob_size = 497;  // inside the noisy cluster
+  const FusedPrediction p_lo = model.predict(kernels::App::kStream, confident);
+  const FusedPrediction p_hi = model.predict(kernels::App::kStream, uncertain);
+  ASSERT_TRUE(p_lo.ready);
+  ASSERT_TRUE(p_hi.ready);
+  ASSERT_LT(p_lo.spread, p_hi.spread);
+  model.set_threshold((p_lo.spread + p_hi.spread) / 2.0);
+
+  EvalService service(hermetic(1));
+  CountingBackend sim;
+  const std::vector<EvalRequest> requests = {
+      {confident, kernels::App::kStream}, {uncertain, kernels::App::kStream}};
+  const auto results = service.evaluate_routed(requests, model, &sim);
+  ASSERT_EQ(results.size(), 2u);
+
+  // Only the uncertain config paid for a backend run; the confident one was
+  // answered by the model, and the counters record the split.
+  EXPECT_EQ(sim.runs(), 1u);
+  EXPECT_EQ(service.metrics().counter("eval.routed_surrogate").value(), 1u);
+  EXPECT_EQ(service.metrics().counter("eval.routed_sim").value(), 1u);
+  EXPECT_EQ(service.metrics().counter("eval.fused_probes").value(), 0u);
+  // The surrogate answer matches the model's direct prediction; the sim
+  // answer matches the counting backend's formula.
+  EXPECT_EQ(results[0].cycles(),
+            static_cast<std::uint64_t>(std::llround(p_lo.cycles)));
+  EXPECT_EQ(results[1].cycles(), 1000 + 497u);
+
+  // Threshold 0 routes nothing: the same batch re-runs entirely on the
+  // simulator (memo-served here, since the points are already cached).
+  model.set_threshold(0.0);
+  const auto all_sim = service.evaluate_routed(requests, model, &sim);
+  EXPECT_EQ(service.metrics().counter("eval.routed_surrogate").value(), 1u);
+  EXPECT_EQ(all_sim[1].cycles(), results[1].cycles());
 }
 
 // --- store format compatibility ---------------------------------------------
