@@ -196,7 +196,7 @@ int main() {
   }
   std::printf("wrote %s\n", json_path.c_str());
 
-  std::printf("%s\n", sim::summarize_eval(service.stats()).c_str());
+  std::printf("%s\n", service.summary_line().c_str());
   obs::Tracer::global().flush();
   return failures == 0 ? 0 : 1;
 }

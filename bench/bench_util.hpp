@@ -35,7 +35,7 @@ inline campaign::CampaignResult pinned_campaign(int vl) {
 /// Prints the service's cache decomposition (the "[eval] ..." line is the
 /// stable hook CI's cache-reuse smoke step greps).
 inline void report_eval_stats() {
-  std::printf("%s\n", sim::summarize_eval(evaluator().stats()).c_str());
+  std::printf("%s\n", evaluator().summary_line().c_str());
 }
 
 /// Prints a shape-check verdict; returns 0/1 for exit-code accumulation.

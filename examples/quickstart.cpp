@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     const sim::RunResult detail =
         service.evaluate_one({cpu, kernels::App::kMiniSweep}).run;
     std::printf("%s\n", sim::render_stats(detail).c_str());
-    std::printf("%s\n", sim::render_eval_stats(service.stats()).c_str());
+    std::printf("%s\n", service.cache_table().c_str());
   }
   return 0;
 }

@@ -1,0 +1,132 @@
+/// \file serve_tool.cpp
+/// The eval daemon as a command-line tool, plus the matching client verbs —
+/// the shape the paper's campaign infrastructure ran in: one long-lived
+/// evaluation service per node, any number of client processes sharing its
+/// memo, result store, and (with --routed) fused surrogate.
+///
+///   serve_tool serve [--routed]    run the daemon (drains on SIGTERM)
+///   serve_tool ping                health-check a running daemon
+///   serve_tool stats               print the daemon's metrics snapshot
+///   serve_tool drain               ask the daemon to drain and exit
+///   serve_tool eval <app> [n]      evaluate n random configs (default 4)
+///
+/// Socket path and worker count come from ADSE_SERVE_SOCKET /
+/// ADSE_SERVE_WORKERS (see README).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "config/param_space.hpp"
+#include "kernels/workloads.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+using namespace adse;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_tool serve [--routed] | ping | stats | drain | "
+               "eval <app> [n]\n");
+  return 2;
+}
+
+int run_daemon(bool routed) {
+  serve::DaemonOptions options = serve::DaemonOptions::from_env();
+  options.routed = routed;
+  options.handle_sigterm = true;
+  options.verbose = true;
+  serve::Daemon daemon(options);
+  daemon.start();
+  std::printf("serving on %s (%zu workers%s); SIGTERM drains\n",
+              daemon.socket_path().c_str(), daemon.workers(),
+              routed ? ", routed" : "");
+  std::fflush(stdout);
+  daemon.wait();
+  return 0;
+}
+
+int run_eval(const std::string& app_name, int n) {
+  kernels::App app = kernels::App::kStream;
+  bool found = false;
+  for (int a = 0; a < kernels::kNumApps; ++a) {
+    if (app_name == kernels::app_slug(static_cast<kernels::App>(a))) {
+      app = static_cast<kernels::App>(a);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
+    return 2;
+  }
+  const config::ParameterSpace space;
+  Rng rng(campaign_seed() + 1000u);
+  std::vector<eval::EvalRequest> requests;
+  for (int i = 0; i < n; ++i) {
+    config::CpuConfig cfg = space.sample(rng);
+    cfg.name = "serve-eval-" + std::to_string(i);
+    requests.push_back({cfg, app});
+  }
+  serve::EvalClient client(serve::ClientOptions::from_env());
+  const auto responses = client.evaluate(requests);
+  int failures = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const auto& r = responses[i];
+    if (r.ok()) {
+      std::printf("%s %s: %llu cycles (%s)\n", app_name.c_str(),
+                  requests[i].config.name.c_str(),
+                  static_cast<unsigned long long>(r.cycles()),
+                  r.source == eval::ResultSource::kBackend ? "fresh"
+                                                           : "cached");
+    } else {
+      std::printf("%s %s: %s (%s)\n", app_name.c_str(),
+                  requests[i].config.name.c_str(),
+                  eval::status_name(r.status), r.error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string verb = argv[1];
+  if (verb == "serve") {
+    const bool routed = argc > 2 && std::strcmp(argv[2], "--routed") == 0;
+    return run_daemon(routed);
+  }
+  if (verb == "ping") {
+    serve::EvalClient client(serve::ClientOptions::from_env());
+    const bool ok = client.ping();
+    std::printf("%s\n", ok ? "pong" : "unreachable");
+    return ok ? 0 : 1;
+  }
+  if (verb == "stats") {
+    serve::EvalClient client(serve::ClientOptions::from_env());
+    const std::string snapshot = client.stats();
+    if (snapshot.empty()) {
+      std::fprintf(stderr, "unreachable\n");
+      return 1;
+    }
+    std::printf("%s\n", snapshot.c_str());
+    return 0;
+  }
+  if (verb == "drain") {
+    serve::EvalClient client(serve::ClientOptions::from_env());
+    const bool ok = client.drain_server();
+    std::printf("%s\n", ok ? "draining" : "unreachable");
+    return ok ? 0 : 1;
+  }
+  if (verb == "eval" && argc >= 3) {
+    const int n = argc > 3 ? std::atoi(argv[3]) : 4;
+    return run_eval(argv[2], n > 0 ? n : 4);
+  }
+  return usage();
+}

@@ -87,10 +87,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     obs::Span span("campaign.evaluate", "campaign");
     span.set_detail(spec.label + ": " + std::to_string(requests.size()) +
                     " runs");
-    results = spec.fused != nullptr
-                  ? service.evaluate_routed(requests, *spec.fused, nullptr,
-                                            progress)
-                  : service.evaluate(requests, nullptr, progress);
+    eval::EvalPolicy policy;
+    policy.fused = spec.fused;
+    policy.progress = progress;
+    results = service.evaluate(requests, policy);
   }
   {
     auto& registry = obs::Registry::global();

@@ -37,7 +37,7 @@ struct CampaignSpec {
   int threads = 0;
   bool verbose = true;              ///< progress lines on stderr
   /// Fused-surrogate routing (DESIGN.md §14): when set, evaluations go
-  /// through `EvalService::evaluate_routed` with this model — the model
+  /// through `EvalService::evaluate` with `EvalPolicy::fused` — the model
   /// trains online on the campaign's own real-sim results and answers the
   /// low-uncertainty remainder analytically. The model outlives the spec
   /// (not owned); with its threshold at 0 the campaign is bit-identical to

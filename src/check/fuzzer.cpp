@@ -23,14 +23,13 @@ namespace {
 std::string check_point(eval::EvalService& service,
                         const config::CpuConfig& config, kernels::App app,
                         std::uint64_t* cycles) {
-  const eval::EvalService::CheckedResult checked =
-      service.evaluate_checked({config, app});
+  const eval::EvalResponse checked = service.evaluate_checked({config, app});
   if (!checked.ok()) return checked.error;
-  if (cycles != nullptr) *cycles = checked.result->cycles();
+  if (cycles != nullptr) *cycles = checked.cycles();
   const isa::Program& trace =
       service.trace(app, config.core.vector_length_bits);
   const std::vector<std::string> violations =
-      verify_run(config, trace, checked.result->run);
+      verify_run(config, trace, checked.run);
   if (violations.empty()) return "";
   std::ostringstream os;
   for (std::size_t i = 0; i < violations.size(); ++i) {

@@ -39,16 +39,15 @@ std::string one_line(std::string s) {
 
 /// Evaluates a (config, app) pair and reports whether it violates any model
 /// invariant or oracle property. Core/memory structural checks fire inside
-/// the run (surfaced as the CheckedResult error); oracle bounds are checked
-/// here against the returned stats.
+/// the run (surfaced as EvalStatus::kBackendError); oracle bounds are
+/// checked here against the returned stats.
 bool run_violates(eval::EvalService& service, const CpuConfig& config,
                   kernels::App app) {
-  const eval::EvalService::CheckedResult checked =
-      service.evaluate_checked({config, app});
+  const eval::EvalResponse checked = service.evaluate_checked({config, app});
   if (!checked.ok()) return true;
   const isa::Program& trace =
       service.trace(app, config.core.vector_length_bits);
-  return !verify_run(config, trace, checked.result->run).empty();
+  return !verify_run(config, trace, checked.run).empty();
 }
 
 }  // namespace
@@ -94,8 +93,7 @@ bool reproduces(eval::EvalService& service, const Violation& violation) {
   const auto hi_run = service.evaluate_checked({hi, violation.app});
   // A pair that now trips an invariant is still a live finding.
   if (!lo_run.ok() || !hi_run.ok()) return true;
-  return hi_run.result->cycles() >
-         monotone_allowed_cycles(lo_run.result->cycles());
+  return hi_run.cycles() > monotone_allowed_cycles(lo_run.cycles());
 }
 
 std::size_t shrink_violation(

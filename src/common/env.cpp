@@ -79,4 +79,14 @@ std::string trace_file() { return env_string("ADSE_TRACE_FILE", ""); }
 
 bool check_enabled_default() { return env_int("ADSE_CHECK", 0) != 0; }
 
+std::string serve_socket_path() {
+  return env_string("ADSE_SERVE_SOCKET", cache_dir() + "/eval.sock");
+}
+
+std::int64_t serve_workers() {
+  const std::int64_t n = env_int("ADSE_SERVE_WORKERS", 0);
+  ADSE_REQUIRE_MSG(n >= 0, "ADSE_SERVE_WORKERS must be >= 0, got " << n);
+  return n;
+}
+
 }  // namespace adse

@@ -77,4 +77,15 @@ std::string trace_file();
 /// getenv it; use CheckContext / ScopedCheck to toggle at runtime.
 bool check_enabled_default();
 
+/// Unix-socket path of the eval daemon (ADSE_SERVE_SOCKET, default
+/// "<cache_dir>/eval.sock"). Read by `serve::DaemonOptions::from_env()` and
+/// `serve::ClientOptions::from_env()` — a daemon and its clients agree on
+/// the rendezvous by sharing the environment.
+std::string serve_socket_path();
+
+/// Worker threads of the eval daemon (ADSE_SERVE_WORKERS, default 0 =
+/// inherit ADSE_THREADS). Requests are sharded across workers by config
+/// hash, so the same design point always lands on the same worker.
+std::int64_t serve_workers();
+
 }  // namespace adse

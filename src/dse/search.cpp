@@ -57,10 +57,9 @@ std::vector<EvaluatedConfig> evaluate_batch(
       requests.push_back({e.config, app});
     }
   }
-  const auto results =
-      options.fused != nullptr
-          ? service.evaluate_routed(requests, *options.fused)
-          : service.evaluate(requests);
+  eval::EvalPolicy policy;
+  policy.fused = options.fused;
+  const auto results = service.evaluate(requests, policy);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EvaluatedConfig& e = out[i];
     for (std::size_t a = 0; a < apps.size(); ++a) {

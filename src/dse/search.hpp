@@ -91,7 +91,7 @@ struct SearchOptions {
   /// from existing state on start. Off = fully in-memory (tests).
   bool persist = true;
   /// Fused-surrogate routing (DESIGN.md §14): when set, every evaluation
-  /// batch goes through `EvalService::evaluate_routed` with this model —
+  /// batch goes through `EvalService::evaluate` with `EvalPolicy::fused` —
   /// high-confidence candidates are answered analytically, the rest (plus
   /// the periodic probes) still pay for real simulation and feed the
   /// model's online refits. Not owned. With the model's threshold at 0 the

@@ -1,12 +1,16 @@
 #pragma once
 /// \file eval_stats.hpp
+/// DEPRECATED shim — prefer `obs::Registry` snapshots.
+///
 /// Point-in-time snapshot of the evaluation service's cache decomposition.
-/// Since the obs migration the *live* counters are `obs::Registry` metrics
-/// ("eval.requests", "eval.backend_runs", ...) owned by the service's
-/// registry — this header is a thin shim kept so `sim::stats_report` can
-/// render the block (and existing callers keep compiling) without the sim
-/// library depending on the eval or obs libraries. `EvalService::stats()`
-/// reads the registry into this plain-integer struct.
+/// The *live* counters are `obs::Registry` metrics ("eval.requests",
+/// "eval.backend_runs", ...) owned by the service's registry; render paths
+/// read the registry directly (`EvalService::summary_line()` /
+/// `cache_table()`, the daemon's stats endpoint), and new code should
+/// consume `metrics().render_json()` or the named counters rather than this
+/// struct. `EvalService::stats()` still fills it for the remaining callers
+/// (tests asserting on individual buckets); the greppable
+/// "[eval] fresh simulator runs:" line is byte-stable regardless.
 
 #include <cstdint>
 

@@ -353,7 +353,12 @@ ResultStore::ResultStore(std::string path, bool verbose)
 }
 
 ResultStore::~ResultStore() {
+  // Close under the append lock: a pool thread finishing its last run while
+  // static destruction tears the service down must find either an open
+  // handle or a clean nullptr — never a freed FILE*.
+  std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
 }
 
 std::size_t ResultStore::appended() const {
@@ -364,9 +369,21 @@ std::size_t ResultStore::appended() const {
 void ResultStore::append(const StoreRecord& record) {
   const std::string bytes = encode(record);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
   std::fwrite(bytes.data(), 1, bytes.size(), file_);
   std::fflush(file_);
   ++appended_;
+}
+
+void ResultStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void ResultStore::visit_run_counters(
+    core::CoreStats& core, mem::MemStats& mem,
+    const std::function<void(std::uint64_t&)>& fn) {
+  visit_counters(core, mem, fn);
 }
 
 void ResultStore::write_legacy_v1(const std::string& path,

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -62,8 +63,16 @@ class ResultStore {
   /// Records appended by this process since open.
   std::size_t appended() const;
 
-  /// Persists one record (thread-safe; one buffered write + flush).
+  /// Persists one record (thread-safe; one buffered write + flush). A store
+  /// whose handle was already closed (exit-time teardown racing a late
+  /// append) drops the record instead of crashing — losing one memo entry
+  /// beats corrupting the file.
   void append(const StoreRecord& record);
+
+  /// Flushes the append handle (thread-safe; no-op when closed). Appends
+  /// flush themselves — this exists for drain paths that want an explicit
+  /// barrier before reporting "flushed".
+  void flush();
 
   /// Stable 64-bit tag for a backend key string (FNV-1a).
   static std::uint64_t tag(const std::string& backend_key);
@@ -77,6 +86,13 @@ class ResultStore {
   /// old stores; new code always writes v2.
   static void write_legacy_v1(const std::string& path,
                               const std::vector<StoreRecord>& records);
+
+  /// Applies `fn` to every persisted counter of a record's stat blocks, in
+  /// the frozen v2 on-disk order. Public so the wire codec (eval/wire.cpp)
+  /// serializes EvalResponse counter blocks bit-for-bit the way the store
+  /// does — one visitation order, two consumers.
+  static void visit_run_counters(core::CoreStats& core, mem::MemStats& mem,
+                                 const std::function<void(std::uint64_t&)>& fn);
 
  private:
   std::string path_;

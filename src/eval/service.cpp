@@ -2,10 +2,13 @@
 
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <utility>
 
 #include "common/env.hpp"
 #include "common/require.hpp"
+#include "common/strings.hpp"
+#include "common/text_table.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 
@@ -19,6 +22,39 @@ const isa::Program& empty_program() {
 }
 
 }  // namespace
+
+const char* status_name(EvalStatus status) {
+  switch (status) {
+    case EvalStatus::kOk: return "ok";
+    case EvalStatus::kBadRequest: return "bad-request";
+    case EvalStatus::kBadFrame: return "bad-frame";
+    case EvalStatus::kVersionMismatch: return "version-mismatch";
+    case EvalStatus::kBackendError: return "backend-error";
+    case EvalStatus::kDraining: return "draining";
+    case EvalStatus::kTimeout: return "timeout";
+    case EvalStatus::kDisconnected: return "disconnected";
+    case EvalStatus::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+ServiceConfig ServiceConfig::from_env() {
+  // The single read site for the knobs the service layers used to getenv
+  // piecemeal; everything downstream consumes the resolved struct.
+  ServiceConfig config;
+  config.threads = static_cast<int>(num_threads());
+  config.batch_k = static_cast<int>(adse::batch_k());
+  config.fused_threshold = adse::fused_threshold();
+  config.probe_every = static_cast<int>(adse::fused_probe_every());
+  return config;
+}
+
+FusedOptions ServiceConfig::fused_options() const {
+  FusedOptions options = fused_options_from_env();
+  if (fused_threshold >= 0.0) options.threshold = fused_threshold;
+  if (probe_every >= 0) options.probe_every = probe_every;
+  return options;
+}
 
 std::size_t EvalService::MemoKeyHash::operator()(const MemoKey& key) const {
   // FNV-1a over the key's 8-byte slots; features are compared (and hashed)
@@ -45,8 +81,8 @@ EvalService::Shard& EvalService::shard_for(const MemoKey& key) {
   return shards_[MemoKeyHash{}(key) % kNumShards];
 }
 
-EvalService::EvalService(EvalOptions options)
-    : options_(std::move(options)),
+EvalService::EvalService(ServiceConfig config)
+    : options_(std::move(config)),
       own_metrics_(options_.registry != nullptr
                        ? nullptr
                        : std::make_unique<obs::Registry>()),
@@ -71,9 +107,18 @@ EvalService::EvalService(EvalOptions options)
       pool_(static_cast<std::size_t>(
           options_.threads > 0 ? options_.threads
                                : static_cast<int>(num_threads()))),
-      batch_k_(static_cast<int>(batch_k())),
+      batch_k_(options_.batch_k > 0 ? options_.batch_k
+                                    : static_cast<int>(adse::batch_k())),
       traces_(&metrics_->counter("eval.trace_hits"),
               &metrics_->counter("eval.trace_builds")) {
+  // Teardown-order pin: pool workers may emit spans (and, for services on
+  // the global registry, counter adds) right up until ~EvalService joins
+  // them — which for the process-wide service happens during exit's static
+  // destruction. Touching the tracer here guarantees it is constructed
+  // before this service completes construction, so C++ destroys it *after*
+  // the pool is gone. (Registry::global() is pinned the same way by
+  // shared(); hermetic services own their registry as a member.)
+  obs::Tracer::global();
   pool_threads_->set(static_cast<double>(pool_.size()));
   if (!options_.store_path.empty()) {
     store_ = std::make_unique<ResultStore>(options_.store_path,
@@ -112,6 +157,8 @@ EvalService::EvalService(EvalOptions options)
   }
 }
 
+EvalService::~EvalService() = default;
+
 EvalService::MemoKey EvalService::make_key(const EvalRequest& request,
                                            const Backend& backend) const {
   return MemoKey{ResultStore::tag(backend.key()),
@@ -120,7 +167,8 @@ EvalService::MemoKey EvalService::make_key(const EvalRequest& request,
 }
 
 void EvalService::fill_from_slot(const EvalRequest& request, const Slot& slot,
-                                 ResultSource source, EvalResult& out) {
+                                 ResultSource source, EvalResponse& out) {
+  out.status = EvalStatus::kOk;
   out.source = source;
   // Labels are reconstructed from the request so cached and fresh results
   // are indistinguishable (traces are named by app slug).
@@ -170,8 +218,8 @@ void EvalService::run_claimed(const EvalRequest& request,
   }
 }
 
-EvalResult EvalService::evaluate_one(const EvalRequest& request,
-                                     const Backend* backend) {
+EvalResponse EvalService::evaluate_one(const EvalRequest& request,
+                                       const Backend* backend) {
   const Backend& chosen = backend != nullptr ? *backend : simulator_;
   const MemoKey key = make_key(request, chosen);
 
@@ -183,7 +231,7 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
   }
   requests_->add(1);
 
-  EvalResult out;
+  EvalResponse out;
   if (slot->done.load(std::memory_order_acquire)) {
     const ResultSource source =
         slot->from_store ? ResultSource::kStore : ResultSource::kMemo;
@@ -211,19 +259,33 @@ EvalResult EvalService::evaluate_one(const EvalRequest& request,
   }
 }
 
-EvalService::CheckedResult EvalService::evaluate_checked(
-    const EvalRequest& request, const Backend* backend) {
+EvalResponse EvalService::evaluate_checked(const EvalRequest& request,
+                                           const Backend* backend) {
   try {
-    return CheckedResult{evaluate_one(request, backend), ""};
+    return evaluate_one(request, backend);
   } catch (const InvariantError& err) {
-    return CheckedResult{std::nullopt, err.what()};
+    EvalResponse failed;
+    failed.status = EvalStatus::kBackendError;
+    failed.error = err.what();
+    return failed;
   }
 }
 
-std::vector<EvalResult> EvalService::evaluate(
+std::vector<EvalResponse> EvalService::evaluate(
+    std::span<const EvalRequest> requests, const EvalPolicy& policy) {
+  if (policy.fused != nullptr && policy.fused->options().threshold > 0.0) {
+    return evaluate_routed(requests, *policy.fused, policy.backend,
+                           policy.progress);
+  }
+  // Route nothing: the plain all-sim path, bit-identically (no model reads,
+  // no observations — the policy is entirely out of the loop).
+  return evaluate_plain(requests, policy.backend, policy.progress);
+}
+
+std::vector<EvalResponse> EvalService::evaluate_plain(
     std::span<const EvalRequest> requests, const Backend* backend,
     const Progress& progress) {
-  std::vector<EvalResult> out(requests.size());
+  std::vector<EvalResponse> out(requests.size());
   if (requests.empty()) return out;
   obs::Span span("eval.batch", "eval");
   span.set_detail(std::to_string(requests.size()) + " requests");
@@ -245,17 +307,12 @@ std::vector<EvalResult> EvalService::evaluate(
   return out;
 }
 
-std::vector<EvalResult> EvalService::evaluate_routed(
+std::vector<EvalResponse> EvalService::evaluate_routed(
     std::span<const EvalRequest> requests, FusedModel& model,
     const Backend* sim_backend, const Progress& progress) {
   const Backend& sim = sim_backend != nullptr ? *sim_backend : simulator_;
-  if (model.options().threshold <= 0.0) {
-    // Route nothing: the plain all-sim path, bit-identically (no model
-    // reads, no observations — the policy is entirely out of the loop).
-    return evaluate(requests, &sim, progress);
-  }
 
-  std::vector<EvalResult> out(requests.size());
+  std::vector<EvalResponse> out(requests.size());
   if (requests.empty()) return out;
   obs::Span span("eval.routed_batch", "eval");
   span.set_detail(std::to_string(requests.size()) + " requests");
@@ -273,17 +330,22 @@ std::vector<EvalResult> EvalService::evaluate_routed(
     const std::span<const EvalRequest> window =
         requests.subspan(start, std::min(round, requests.size() - start));
 
-    // Gate each candidate with the model as of the previous round. A probe
-    // is a surrogate-eligible candidate the probe clock diverts to the
-    // simulator anyway — its prediction is remembered so truth can price it.
+    // Gate each candidate with the model as of the previous round. A
+    // request whose allow_surrogate flag is off never enters the gate. A
+    // probe is a surrogate-eligible candidate the probe clock diverts to
+    // the simulator anyway — its prediction is remembered so truth can
+    // price it.
     std::vector<std::size_t> sim_members;     // window-relative indices
     std::vector<std::size_t> fused_members;
     std::vector<std::pair<std::size_t, double>> probes;  // (member, predicted)
     for (std::size_t i = 0; i < window.size(); ++i) {
-      const FusedPrediction prediction =
-          model.predict(window[i].app, window[i].config);
-      const bool eligible = prediction.ready &&
-                            prediction.spread < model.options().threshold;
+      bool eligible = window[i].allow_surrogate;
+      FusedPrediction prediction;
+      if (eligible) {
+        prediction = model.predict(window[i].app, window[i].config);
+        eligible = prediction.ready &&
+                   prediction.spread < model.options().threshold;
+      }
       if (eligible && model.take_probe_tick()) {
         probes.emplace_back(sim_members.size(), prediction.cycles);
         sim_members.push_back(i);
@@ -299,7 +361,8 @@ std::vector<EvalResult> EvalService::evaluate_routed(
     std::vector<EvalRequest> sim_requests;
     sim_requests.reserve(sim_members.size());
     for (const std::size_t i : sim_members) sim_requests.push_back(window[i]);
-    const std::vector<EvalResult> sim_results = evaluate(sim_requests, &sim);
+    const std::vector<EvalResponse> sim_results =
+        evaluate_plain(sim_requests, &sim, {});
     routed_sim_->add(sim_results.size());
     for (std::size_t m = 0; m < sim_members.size(); ++m) {
       out[start + sim_members[m]] = sim_results[m];
@@ -325,8 +388,8 @@ std::vector<EvalResult> EvalService::evaluate_routed(
     for (const std::size_t i : fused_members) {
       fused_requests.push_back(window[i]);
     }
-    const std::vector<EvalResult> fused_results =
-        evaluate(fused_requests, &fused);
+    const std::vector<EvalResponse> fused_results =
+        evaluate_plain(fused_requests, &fused, {});
     routed_surrogate_->add(fused_results.size());
     for (std::size_t m = 0; m < fused_members.size(); ++m) {
       out[start + fused_members[m]] = fused_results[m];
@@ -336,10 +399,10 @@ std::vector<EvalResult> EvalService::evaluate_routed(
   return out;
 }
 
-std::vector<EvalResult> EvalService::evaluate_batched(
+std::vector<EvalResponse> EvalService::evaluate_batched(
     std::span<const EvalRequest> requests, const Backend& backend, int k,
     const Progress& progress) {
-  std::vector<EvalResult> out(requests.size());
+  std::vector<EvalResponse> out(requests.size());
   std::atomic<std::size_t> completed{0};
   auto note_done = [&] {
     if (progress) progress(completed.fetch_add(1) + 1, requests.size());
@@ -506,16 +569,57 @@ EvalStats EvalService::stats() const {
   return s;
 }
 
+std::string EvalService::summary_line() const {
+  // Byte-stable with the historical sim::summarize_eval(EvalStats) output:
+  // CI's cache-reuse smoke greps "[eval] fresh simulator runs: 0 ".
+  const EvalStats s = stats();
+  std::ostringstream os;
+  os << "[eval] fresh simulator runs: " << s.backend_runs
+     << " | requests: " << s.requests << " | memo hits: " << s.memo_hits
+     << " | store hits: " << s.store_hits << " | in-flight joins: "
+     << s.inflight_joins << " | traces built: " << s.trace_builds;
+  return os.str();
+}
+
+std::string EvalService::cache_table() const {
+  const EvalStats s = stats();
+  auto grouped = [](std::uint64_t v) {
+    return format_grouped(static_cast<long long>(v));
+  };
+  std::ostringstream os;
+  TextTable table({"evaluation service", "count"});
+  table.add_row({"requests served", grouped(s.requests)});
+  table.add_row({"fresh backend runs", grouped(s.backend_runs)});
+  table.add_row({"memo hits", grouped(s.memo_hits)});
+  table.add_row({"result-store hits", grouped(s.store_hits)});
+  table.add_row({"in-flight joins", grouped(s.inflight_joins)});
+  table.add_row({"cached %", format_fixed(s.hit_fraction() * 100.0, 2)});
+  table.add_row({"store records loaded", grouped(s.store_loaded)});
+  table.add_row({"store records appended", grouped(s.store_appended)});
+  table.add_row({"traces built", grouped(s.trace_builds)});
+  table.add_row({"trace-cache hits", grouped(s.trace_hits)});
+  os << "evaluation cache decomposition:\n" << table.render();
+  return os.str();
+}
+
+void EvalService::flush() {
+  stats();  // refreshes the sampled gauges
+  if (store_ != nullptr) store_->flush();
+}
+
 EvalService& EvalService::shared() {
-  // The cache dir and thread count are read once, at first use; every entry
-  // point that goes through the shared service inherits them (this is the
-  // single ADSE_THREADS read the satellite fix asks for).
+  // The cache dir and env knobs are read once, at first use; every entry
+  // point that goes through the shared service inherits them. Touching
+  // Registry::global() inside the initializer pins it ahead of the service
+  // in static-destruction order: exit-time teardown destroys the service
+  // (joining its pool) while the registry its counters live in is still
+  // alive.
   static EvalService service([] {
-    EvalOptions options;
-    options.store_path = cache_dir() + "/eval_store.bin";
-    options.verbose = true;
-    options.registry = &obs::Registry::global();
-    return options;
+    ServiceConfig config = ServiceConfig::from_env();
+    config.store_path = cache_dir() + "/eval_store.bin";
+    config.verbose = true;
+    config.registry = &obs::Registry::global();
+    return config;
   }());
   return service;
 }

@@ -15,8 +15,9 @@
 ///
 /// Backends are pluggable (`eval::Backend`): the cycle simulator is the
 /// default, the hardware proxy and a forest surrogate ride the same memo.
-/// This is the seam future scaling work (sharding across processes, async
-/// dispatch, remote workers) plugs into.
+/// The public request/response/config types live in `eval/api.hpp` (shared
+/// with the socket client); `adse::serve` wraps this class in a daemon so
+/// the memo, store and surrogates are shared across processes.
 ///
 /// Observability: the service's cache/dedup counters are `obs::Registry`
 /// metrics (the shared service reports into the global registry; hermetic
@@ -27,10 +28,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +37,7 @@
 
 #include "common/thread_pool.hpp"
 #include "config/cpu_config.hpp"
+#include "eval/api.hpp"
 #include "eval/backend.hpp"
 #include "eval/eval_stats.hpp"
 #include "eval/fused.hpp"
@@ -49,48 +49,13 @@
 
 namespace adse::eval {
 
-struct EvalOptions {
-  /// Worker threads; 0 inherits the process default (ADSE_THREADS, falling
-  /// back to hardware concurrency) — read once via adse::num_threads().
-  int threads = 0;
-  /// Path of the persistent result store; empty = in-memory memo only
-  /// (hermetic, what unit tests want).
-  std::string store_path;
-  bool verbose = false;
-  /// Metrics registry the service's "eval.*" counters live in. nullptr (the
-  /// default) gives the service a private registry, so hermetic services —
-  /// unit tests — never see another instance's traffic;
-  /// `EvalService::shared()` reports into `obs::Registry::global()`.
-  obs::Registry* registry = nullptr;
-};
-
-/// One evaluation to perform: a design point and the app to run on it.
-struct EvalRequest {
-  config::CpuConfig config;
-  kernels::App app = kernels::App::kStream;
-};
-
-/// Where a result came from (the memo decomposition EvalStats aggregates).
-enum class ResultSource {
-  kBackend,   ///< fresh backend run, paid in full
-  kMemo,      ///< in-memory memo hit (evaluated earlier this process)
-  kStore,     ///< served from the on-disk result store (a previous run paid)
-  kInflight,  ///< joined an identical concurrently-running request
-};
-
-struct EvalResult {
-  sim::RunResult run;
-  ResultSource source = ResultSource::kBackend;
-
-  std::uint64_t cycles() const { return run.cycles(); }
-};
-
-class EvalService {
+class EvalService final : public Evaluator {
  public:
   /// Batch progress callback; may be invoked concurrently from workers.
-  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+  using Progress = eval::Progress;
 
-  explicit EvalService(EvalOptions options = {});
+  explicit EvalService(ServiceConfig config = {});
+  ~EvalService() override;
 
   std::size_t threads() const { return pool_.size(); }
 
@@ -100,50 +65,41 @@ class EvalService {
 
   /// Evaluates a batch across the pool; results come back in request order.
   /// Duplicate requests — within the batch, across concurrent batches, or
-  /// against history — collapse onto a single backend run. `backend`
-  /// defaults to the cycle simulator.
-  std::vector<EvalResult> evaluate(std::span<const EvalRequest> requests,
-                                   const Backend* backend = nullptr,
-                                   const Progress& progress = {});
+  /// against history — collapse onto a single backend run.
+  ///
+  /// The policy is the one entry point for both the plain and the routed
+  /// path (the old `evaluate_routed`): with `policy.fused` null (or its
+  /// threshold <= 0) every request runs on `policy.backend` (default: the
+  /// cycle simulator) bit-identically; with a routing model set, requests
+  /// whose `allow_surrogate` flag is on are gated per-round on the model's
+  /// predictive spread (DESIGN.md §14) — confident ones are answered by the
+  /// fused surrogate (memoised, never persisted), the rest (plus every
+  /// probe_every-th eligible candidate, re-simulated to price the error in
+  /// "eval.routing_error_pct") run for real and feed the model. Counters:
+  /// "eval.routed_surrogate", "eval.routed_sim", "eval.fused_probes",
+  /// "eval.residual_refits".
+  std::vector<EvalResponse> evaluate(std::span<const EvalRequest> requests,
+                                     const EvalPolicy& policy);
+
+  /// Evaluator: the policy-free form every client/server-neutral caller
+  /// uses (plain path, default backend).
+  std::vector<EvalResponse> evaluate(
+      std::span<const EvalRequest> requests) override {
+    return evaluate(requests, EvalPolicy{});
+  }
 
   /// Single-request form; runs on the calling thread (no pool hop).
-  EvalResult evaluate_one(const EvalRequest& request,
-                          const Backend* backend = nullptr);
+  EvalResponse evaluate_one(const EvalRequest& request,
+                            const Backend* backend = nullptr);
 
-  /// The uncertainty-gated routing policy (DESIGN.md §14): requests are
-  /// processed in rounds of model.options().round_size; within a round each
-  /// candidate is gated on the residual model's predictive spread — below
-  /// the threshold the fused surrogate answers (a FusedBackend evaluation:
-  /// memoised, never persisted), the rest run on `sim_backend` (default:
-  /// the batched cycle simulator). Every real result feeds model.observe,
-  /// so later rounds route more traffic to the surrogate; every
-  /// probe_every-th surrogate-eligible candidate is simulated anyway and
-  /// its |prediction − truth| lands in the "eval.routing_error_pct"
-  /// histogram. Counters: "eval.routed_surrogate", "eval.routed_sim",
-  /// "eval.fused_probes", "eval.residual_refits".
-  ///
-  /// Safe by construction: threshold <= 0 (ADSE_FUSED_THRESHOLD=0) is a
-  /// pure pass-through to evaluate() — bit-identical results, memo and
-  /// store traffic to the all-sim path.
-  std::vector<EvalResult> evaluate_routed(std::span<const EvalRequest> requests,
-                                          FusedModel& model,
-                                          const Backend* sim_backend = nullptr,
-                                          const Progress& progress = {});
-
-  /// An evaluation outcome with model-invariant failures carried as data.
-  struct CheckedResult {
-    std::optional<EvalResult> result;  ///< empty when the run violated checks
-    std::string error;                 ///< the InvariantError message
-    bool ok() const { return result.has_value(); }
-  };
-
-  /// evaluate_one with InvariantError surfaced per-request instead of
-  /// unwinding a whole batch: the check fuzzer probes hostile corners of the
-  /// design space where a violation is the *signal*, not an abort. A failed
-  /// request leaves no memo entry, so replaying it deterministically
-  /// re-fails.
-  CheckedResult evaluate_checked(const EvalRequest& request,
-                                 const Backend* backend = nullptr);
+  /// evaluate_one with model-invariant failures carried as data instead of
+  /// unwinding a whole batch: the check fuzzer probes hostile corners of
+  /// the design space where a violation is the *signal*, not an abort. A
+  /// failed request comes back with `status == EvalStatus::kBackendError`
+  /// and the InvariantError message in `error`; it leaves no memo entry, so
+  /// replaying it deterministically re-fails.
+  EvalResponse evaluate_checked(const EvalRequest& request,
+                                const Backend* backend = nullptr);
 
   /// Shared trace cache (traces depend only on app and vector length).
   const isa::Program& trace(kernels::App app, int vl) {
@@ -159,18 +115,32 @@ class EvalService {
 
   /// Snapshot of the cache/dedup counters. The live counters are obs
   /// registry metrics ("eval.requests", "eval.backend_runs", ...); this
-  /// reads them into the plain EvalStats block the renderers consume, and
-  /// refreshes the service's pool/store gauges as a side effect.
+  /// reads them into the plain EvalStats block, and refreshes the service's
+  /// pool/store gauges as a side effect.
   EvalStats stats() const;
 
-  /// The registry this service reports into (its own unless EvalOptions
+  /// The greppable one-line cache summary ("[eval] fresh simulator runs:
+  /// ..."), read straight from the registry counters. Byte-stable: CI's
+  /// cache-reuse smoke greps its prefix.
+  std::string summary_line() const;
+
+  /// The human-readable cache-decomposition table (registry-backed
+  /// replacement for the old sim::render_eval_stats(EvalStats) shim path).
+  std::string cache_table() const;
+
+  /// The registry this service reports into (its own unless ServiceConfig
   /// supplied one).
   obs::Registry& metrics() const { return *metrics_; }
 
-  /// The process-wide service: env-default thread count, persistent store
-  /// under the cache dir. Entry points (benches, examples, campaign/DSE
-  /// convenience overloads) all share this instance — and therefore its
-  /// memo.
+  /// Flushes persistent state (the result store syncs per-append already;
+  /// this fsync-like hook exists for the daemon's drain path) and refreshes
+  /// the sampled gauges.
+  void flush();
+
+  /// The process-wide service: ServiceConfig::from_env() knobs, persistent
+  /// store under the cache dir. Entry points (benches, examples,
+  /// campaign/DSE convenience overloads) all share this instance — and
+  /// therefore its memo.
   static EvalService& shared();
 
  private:
@@ -226,21 +196,33 @@ class EvalService {
   /// Serves `out` from a finished slot, attributing the hit. Caller ensures
   /// the slot is done (acquire-loaded or seen kDone under the shard lock).
   void fill_from_slot(const EvalRequest& request, const Slot& slot,
-                      ResultSource source, EvalResult& out);
+                      ResultSource source, EvalResponse& out);
 
   /// Runs one claimed slot's backend evaluation inline on the calling
   /// thread. The slot must be in kRunning owned by this caller.
   void run_claimed(const EvalRequest& request, const Backend& backend,
                    const MemoKey& key, Shard& shard, Slot& slot);
 
+  /// The plain (non-routed) batch path behind evaluate().
+  std::vector<EvalResponse> evaluate_plain(std::span<const EvalRequest> requests,
+                                           const Backend* backend,
+                                           const Progress& progress);
+
+  /// The uncertainty-gated routing policy (DESIGN.md §14) behind
+  /// evaluate() when a fused model is supplied.
+  std::vector<EvalResponse> evaluate_routed(std::span<const EvalRequest> requests,
+                                            FusedModel& model,
+                                            const Backend* sim_backend,
+                                            const Progress& progress);
+
   /// The batched dispatch path: groups claimable fresh requests by
   /// (app, VL), chunks them into `k`-lane batches, and runs each chunk
   /// through Backend::run_batch on the pool.
-  std::vector<EvalResult> evaluate_batched(std::span<const EvalRequest> requests,
-                                           const Backend& backend, int k,
-                                           const Progress& progress);
+  std::vector<EvalResponse> evaluate_batched(std::span<const EvalRequest> requests,
+                                             const Backend& backend, int k,
+                                             const Progress& progress);
 
-  EvalOptions options_;
+  ServiceConfig options_;
   /// Present only when options_.registry was null (hermetic service).
   std::unique_ptr<obs::Registry> own_metrics_;
   obs::Registry* metrics_;
@@ -262,7 +244,7 @@ class EvalService {
   obs::Gauge* store_loaded_;
   obs::Gauge* store_appended_;
   ThreadPool pool_;
-  /// Batch width ceiling (ADSE_BATCH_K, read once at construction);
+  /// Batch width ceiling (ServiceConfig::batch_k, env-inherited when 0);
   /// <= 1 keeps every request on the scalar path.
   int batch_k_;
   TraceCache traces_;

@@ -96,34 +96,6 @@ std::string render_stats(const RunResult& result) {
   return os.str();
 }
 
-std::string render_eval_stats(const eval::EvalStats& stats) {
-  std::ostringstream os;
-  TextTable table({"evaluation service", "count"});
-  table.add_row({"requests served", grouped(stats.requests)});
-  table.add_row({"fresh backend runs", grouped(stats.backend_runs)});
-  table.add_row({"memo hits", grouped(stats.memo_hits)});
-  table.add_row({"result-store hits", grouped(stats.store_hits)});
-  table.add_row({"in-flight joins", grouped(stats.inflight_joins)});
-  table.add_row({"cached %",
-                 format_fixed(stats.hit_fraction() * 100.0, 2)});
-  table.add_row({"store records loaded", grouped(stats.store_loaded)});
-  table.add_row({"store records appended", grouped(stats.store_appended)});
-  table.add_row({"traces built", grouped(stats.trace_builds)});
-  table.add_row({"trace-cache hits", grouped(stats.trace_hits)});
-  os << "evaluation cache decomposition:\n" << table.render();
-  return os.str();
-}
-
-std::string summarize_eval(const eval::EvalStats& stats) {
-  std::ostringstream os;
-  os << "[eval] fresh simulator runs: " << stats.backend_runs
-     << " | requests: " << stats.requests << " | memo hits: "
-     << stats.memo_hits << " | store hits: " << stats.store_hits
-     << " | in-flight joins: " << stats.inflight_joins << " | traces built: "
-     << stats.trace_builds;
-  return os.str();
-}
-
 std::string summarize(const RunResult& result) {
   std::ostringstream os;
   os << result.app << " on " << result.config_name << ": "

@@ -7,7 +7,6 @@
 
 #include <string>
 
-#include "eval/eval_stats.hpp"
 #include "sim/simulation.hpp"
 
 namespace adse::sim {
@@ -20,15 +19,10 @@ std::string render_stats(const RunResult& result);
 /// One-line summary ("stream on thunderx2: 80,718 cycles, IPC 1.10, ...").
 std::string summarize(const RunResult& result);
 
-/// Renders the evaluation service's cache decomposition — the service-level
-/// sibling of render_stats' event-skip table: how many requests were served
-/// fresh vs from the memo, the on-disk store, or an in-flight duplicate,
-/// plus trace-cache traffic. (`eval_stats.hpp` is dependency-free, so this
-/// stays in sim alongside the other statistics renderers.)
-std::string render_eval_stats(const eval::EvalStats& stats);
-
-/// Stable one-line form benches print and CI greps, e.g.
-/// "[eval] fresh simulator runs: 0 | memo hits: 12 | ...".
-std::string summarize_eval(const eval::EvalStats& stats);
+// The eval-service renderers (render_eval_stats / summarize_eval) moved to
+// the service itself — `EvalService::cache_table()` / `summary_line()` —
+// which read the obs registry directly instead of going through the
+// EvalStats shim. The "[eval] fresh simulator runs:" line is byte-stable
+// across the move.
 
 }  // namespace adse::sim

@@ -16,7 +16,8 @@ class EnvTest : public ::testing::Test {
                              "ADSE_CONFIGS_CONSTRAINED", "ADSE_THREADS",
                              "ADSE_SEED", "ADSE_CACHE_DIR", "ADSE_LOG_LEVEL",
                              "ADSE_TRACE_FILE", "ADSE_BATCH_K",
-                             "ADSE_FUSED_THRESHOLD", "ADSE_FUSED_PROBE_EVERY"}) {
+                             "ADSE_FUSED_THRESHOLD", "ADSE_FUSED_PROBE_EVERY",
+                             "ADSE_SERVE_SOCKET", "ADSE_SERVE_WORKERS"}) {
       unsetenv(name);
     }
   }
@@ -95,6 +96,19 @@ TEST_F(EnvTest, FusedRoutingKnobs) {
   EXPECT_THROW(fused_threshold(), InvariantError);
   setenv("ADSE_FUSED_PROBE_EVERY", "-1", 1);
   EXPECT_THROW(fused_probe_every(), InvariantError);
+}
+
+TEST_F(EnvTest, ServeKnobs) {
+  EXPECT_EQ(serve_socket_path(), "./adse_cache/eval.sock");  // under cache dir
+  EXPECT_EQ(serve_workers(), 0);  // 0 = inherit ADSE_THREADS
+  setenv("ADSE_CACHE_DIR", "/tmp/elsewhere", 1);
+  EXPECT_EQ(serve_socket_path(), "/tmp/elsewhere/eval.sock");
+  setenv("ADSE_SERVE_SOCKET", "/tmp/custom.sock", 1);
+  setenv("ADSE_SERVE_WORKERS", "6", 1);
+  EXPECT_EQ(serve_socket_path(), "/tmp/custom.sock");
+  EXPECT_EQ(serve_workers(), 6);
+  setenv("ADSE_SERVE_WORKERS", "-1", 1);
+  EXPECT_THROW(serve_workers(), InvariantError);
 }
 
 TEST_F(EnvTest, TooSmallCampaignRejected) {

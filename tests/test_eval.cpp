@@ -97,7 +97,9 @@ TEST(EvalService, BatchDuplicatesCollapse) {
   CountingBackend backend;
   const std::vector<EvalRequest> requests(12, stream_request());
 
-  const auto results = service.evaluate(requests, &backend);
+  EvalPolicy policy;
+  policy.backend = &backend;
+  const auto results = service.evaluate(requests, policy);
   ASSERT_EQ(results.size(), 12u);
   EXPECT_EQ(backend.runs(), 1u);
   for (const EvalResult& r : results) {
@@ -323,7 +325,10 @@ TEST(EvalService, RoutedEvaluationGatesOnResidualSpread) {
   CountingBackend sim;
   const std::vector<EvalRequest> requests = {
       {confident, kernels::App::kStream}, {uncertain, kernels::App::kStream}};
-  const auto results = service.evaluate_routed(requests, model, &sim);
+  EvalPolicy routed;
+  routed.backend = &sim;
+  routed.fused = &model;
+  const auto results = service.evaluate(requests, routed);
   ASSERT_EQ(results.size(), 2u);
 
   // Only the uncertain config paid for a backend run; the confident one was
@@ -341,7 +346,7 @@ TEST(EvalService, RoutedEvaluationGatesOnResidualSpread) {
   // Threshold 0 routes nothing: the same batch re-runs entirely on the
   // simulator (memo-served here, since the points are already cached).
   model.set_threshold(0.0);
-  const auto all_sim = service.evaluate_routed(requests, model, &sim);
+  const auto all_sim = service.evaluate(requests, routed);
   EXPECT_EQ(service.metrics().counter("eval.routed_surrogate").value(), 1u);
   EXPECT_EQ(all_sim[1].cycles(), results[1].cycles());
 }
@@ -477,10 +482,10 @@ TEST(EvalService, SummaryLineReportsFreshRuns) {
   CountingBackend backend;
   service.evaluate_one(stream_request(), &backend);
   service.evaluate_one(stream_request(), &backend);
-  const std::string line = sim::summarize_eval(service.stats());
+  const std::string line = service.summary_line();
   EXPECT_NE(line.find("[eval] fresh simulator runs: 1"), std::string::npos);
   EXPECT_NE(line.find("memo hits: 1"), std::string::npos);
-  const std::string table = sim::render_eval_stats(service.stats());
+  const std::string table = service.cache_table();
   EXPECT_NE(table.find("requests served"), std::string::npos);
 }
 
