@@ -1,0 +1,313 @@
+#include "check/mc_fuzzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "config/baselines.hpp"
+#include "sim/multicore.hpp"
+
+namespace adse::check {
+
+namespace {
+
+/// Sampled ranges. VLs stay modest (wide vectors multiply lines per access,
+/// not protocol variety); sparse entry budgets are deliberately tiny so
+/// directory evictions actually happen inside short fuzz traces.
+constexpr std::array<int, 4> kVlChoices = {128, 256, 512, 1024};
+constexpr std::array<int, 4> kSparseEntryChoices = {0, 8, 16, 64};
+
+/// Largest per-core start skew in cycles. Small on purpose: the interesting
+/// races live within a few protocol round-trips of each other.
+constexpr std::uint64_t kMaxSkewCycles = 48;
+
+/// Interleave seeds are raw 64-bit rng draws; parse_int (signed) overflows
+/// on half of them.
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  ADSE_REQUIRE_MSG(ec == std::errc() && ptr == end,
+                   "cannot parse '" << s << "' as u64");
+  return v;
+}
+
+std::vector<std::uint64_t> skews_from_seed(std::uint64_t interleave_seed,
+                                           int cores) {
+  if (interleave_seed == 0) return {};
+  Rng rng(interleave_seed);
+  std::vector<std::uint64_t> skew(static_cast<std::size_t>(cores));
+  for (auto& s : skew) {
+    s = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kMaxSkewCycles)));
+  }
+  return skew;
+}
+
+McPoint sample_point(Rng& rng, const McFuzzOptions& options) {
+  McPoint p;
+  int max_log2 = 1;
+  while ((2 << max_log2) <= options.max_cores) max_log2++;
+  p.num_cores = 2 << rng.uniform_int(0, max_log2 - 1);
+  p.directory_scheme = rng.bernoulli(0.5)
+                           ? config::DirectoryScheme::kFullMap
+                           : config::DirectoryScheme::kSparse;
+  p.directory_entries =
+      p.directory_scheme == config::DirectoryScheme::kSparse
+          ? kSparseEntryChoices[rng.index(kSparseEntryChoices.size())]
+          : 0;
+  p.vector_length_bits =
+      kVlChoices[static_cast<std::size_t>(rng.index(kVlChoices.size()))];
+  p.app = kernels::all_mc_apps()[rng.index(kernels::all_mc_apps().size())];
+  p.interleave_seed = rng.next();
+  return p;
+}
+
+}  // namespace
+
+config::CpuConfig mc_point_config(const McPoint& point) {
+  config::CpuConfig cfg = config::thunderx2_baseline();
+  cfg.core.vector_length_bits = point.vector_length_bits;
+  // The ThunderX2 pipes are sized for 128-bit vectors; a functional design
+  // must move a full vector per request (§V-A validation), so widen them to
+  // the sampled VL. Both are powers of two, so the result stays one.
+  const int vl_bytes = point.vector_length_bits / 8;
+  cfg.core.load_bandwidth_bytes = std::max(cfg.core.load_bandwidth_bytes,
+                                           vl_bytes);
+  cfg.core.store_bandwidth_bytes = std::max(cfg.core.store_bandwidth_bytes,
+                                            vl_bytes);
+  cfg.mc.num_cores = point.num_cores;
+  cfg.mc.directory_scheme = point.directory_scheme;
+  cfg.mc.directory_entries = point.directory_entries;
+  cfg.name = "mc-fuzz";
+  return cfg;
+}
+
+std::string mc_run_point(const McPoint& point,
+                         coherence::InjectedBug inject) {
+  const config::CpuConfig cfg = mc_point_config(point);
+  sim::MulticoreOptions options;
+  options.inject = inject;
+  options.start_skew = skews_from_seed(point.interleave_seed, point.num_cores);
+  // Tight walk cadence: the fuzzer trades throughput for the earliest
+  // possible detection of a structural-law break.
+  options.walk_every = 64;
+  ScopedCheck armed(true);
+  try {
+    const sim::MulticoreResult result =
+        sim::simulate_multicore(cfg, kernels::build_mc_app(
+                                         point.app, point.num_cores,
+                                         point.vector_length_bits),
+                                options);
+    // Terminal sanity: the lockstep loop retires every µop of every thread.
+    std::uint64_t expected = 0;
+    const kernels::ThreadedProgram program = kernels::build_mc_app(
+        point.app, point.num_cores, point.vector_length_bits);
+    for (const auto& t : program.threads) expected += t.ops.size();
+    ADSE_REQUIRE_MSG(result.retired_uops == expected,
+                     "retired " << result.retired_uops << " of " << expected
+                                << " µops");
+    ADSE_REQUIRE_MSG(result.cycles > 0, "zero-cycle multicore run");
+  } catch (const InvariantError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+McFuzzOptions McFuzzOptions::from_env() {
+  McFuzzOptions options;
+  options.max_cores = static_cast<int>(mc_cores());
+  return options;
+}
+
+std::string McFuzzReport::summary() const {
+  std::ostringstream os;
+  os << "mc-fuzz: " << iterations << " iterations, " << runs << " runs, "
+     << violations.size() << " violation(s)";
+  return os.str();
+}
+
+McFuzzReport mc_fuzz(const McFuzzOptions& options) {
+  ADSE_REQUIRE_MSG(options.iterations > 0, "mc-fuzz needs iterations > 0");
+  ADSE_REQUIRE_MSG(options.max_cores >= 2 && options.max_cores <= 16 &&
+                       (options.max_cores & (options.max_cores - 1)) == 0,
+                   "max_cores must be a power of two in [2,16], got "
+                       << options.max_cores);
+  McFuzzReport report;
+  report.iterations = options.iterations;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Same per-iteration seeding discipline as the config-space fuzzer:
+    // independent streams, so the report does not depend on ordering.
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(iter) * 2 + 1);
+    const McPoint point = sample_point(rng, options);
+    report.runs++;
+    const std::string message = mc_run_point(point, options.inject);
+    if (message.empty()) continue;
+
+    McViolation violation;
+    violation.seed = options.seed;
+    violation.iteration = static_cast<std::uint64_t>(iter);
+    violation.point = point;
+    violation.inject = options.inject;
+    violation.message = message;
+    if (options.verbose) {
+      std::cerr << "[mc-fuzz] iteration " << iter << ": " << message << "\n";
+    }
+    if (options.shrink) {
+      const std::size_t left = mc_shrink_violation(violation);
+      if (options.verbose) {
+        std::cerr << "[mc-fuzz] shrunk to " << left
+                  << " non-baseline dimension(s)\n";
+      }
+    }
+    if (!options.repro_dir.empty()) {
+      save_mc_repro(options.repro_dir, violation);
+    }
+    report.violations.push_back(std::move(violation));
+  }
+  return report;
+}
+
+bool mc_reproduces(const McViolation& violation) {
+  return !mc_run_point(violation.point, violation.inject).empty();
+}
+
+std::size_t mc_shrink_violation(McViolation& violation) {
+  const McPoint baseline;  // 2 cores, full map, auto entries, VL 128, ring
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int dim = 0; dim < 6; ++dim) {
+      McPoint candidate = violation.point;
+      switch (dim) {
+        case 0: candidate.num_cores = baseline.num_cores; break;
+        case 1:
+          candidate.directory_scheme = baseline.directory_scheme;
+          candidate.directory_entries = baseline.directory_entries;
+          break;
+        case 2: candidate.directory_entries = baseline.directory_entries; break;
+        case 3: candidate.vector_length_bits = baseline.vector_length_bits; break;
+        case 4: candidate.app = baseline.app; break;
+        case 5: candidate.interleave_seed = baseline.interleave_seed; break;
+      }
+      // Skip no-op resets; keep every reset that still fires.
+      if (candidate.num_cores == violation.point.num_cores &&
+          candidate.directory_scheme == violation.point.directory_scheme &&
+          candidate.directory_entries == violation.point.directory_entries &&
+          candidate.vector_length_bits == violation.point.vector_length_bits &&
+          candidate.app == violation.point.app &&
+          candidate.interleave_seed == violation.point.interleave_seed) {
+        continue;
+      }
+      const std::string message = mc_run_point(candidate, violation.inject);
+      if (!message.empty()) {
+        violation.point = candidate;
+        violation.message = message;
+        changed = true;
+      }
+    }
+  }
+  const McPoint& p = violation.point;
+  std::size_t diffs = 0;
+  if (p.num_cores != baseline.num_cores) diffs++;
+  if (p.directory_scheme != baseline.directory_scheme) diffs++;
+  if (p.directory_entries != baseline.directory_entries) diffs++;
+  if (p.vector_length_bits != baseline.vector_length_bits) diffs++;
+  if (p.app != baseline.app) diffs++;
+  if (p.interleave_seed != baseline.interleave_seed) diffs++;
+  return diffs;
+}
+
+std::string mc_repro_to_string(const McViolation& violation) {
+  std::ostringstream os;
+  os << "adse-mc-repro v1\n";
+  os << "seed " << violation.seed << '\n';
+  os << "iteration " << violation.iteration << '\n';
+  os << "app " << kernels::mc_app_slug(violation.point.app) << '\n';
+  os << "cores " << violation.point.num_cores << '\n';
+  os << "scheme "
+     << config::directory_scheme_name(violation.point.directory_scheme)
+     << '\n';
+  os << "entries " << violation.point.directory_entries << '\n';
+  os << "vl " << violation.point.vector_length_bits << '\n';
+  os << "interleave_seed " << violation.point.interleave_seed << '\n';
+  os << "inject " << coherence::injected_bug_name(violation.inject) << '\n';
+  os << "message " << violation.message << '\n';
+  return os.str();
+}
+
+McViolation mc_repro_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  ADSE_REQUIRE_MSG(std::getline(is, line) && trim(line) == "adse-mc-repro v1",
+                   "not an adse-mc-repro v1 file");
+  McViolation v;
+  while (std::getline(is, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto space = trimmed.find(' ');
+    ADSE_REQUIRE_MSG(space != std::string_view::npos,
+                     "malformed mc-repro line: '" << std::string(trimmed)
+                                                  << "'");
+    const std::string key{trimmed.substr(0, space)};
+    const std::string value{trim(trimmed.substr(space + 1))};
+    if (key == "seed") {
+      v.seed = parse_u64(value);
+    } else if (key == "iteration") {
+      v.iteration = parse_u64(value);
+    } else if (key == "app") {
+      v.point.app = kernels::mc_app_from_slug(value);
+    } else if (key == "cores") {
+      v.point.num_cores = static_cast<int>(parse_int(value));
+    } else if (key == "scheme") {
+      v.point.directory_scheme = config::directory_scheme_from_name(value);
+    } else if (key == "entries") {
+      v.point.directory_entries = static_cast<int>(parse_int(value));
+    } else if (key == "vl") {
+      v.point.vector_length_bits = static_cast<int>(parse_int(value));
+    } else if (key == "interleave_seed") {
+      v.point.interleave_seed = parse_u64(value);
+    } else if (key == "inject") {
+      v.inject = coherence::injected_bug_from_name(value);
+    } else if (key == "message") {
+      v.message = value;
+    } else {
+      ADSE_REQUIRE_MSG(false, "unknown mc-repro key '" << key << "'");
+    }
+  }
+  return v;
+}
+
+void save_mc_repro(const std::string& dir, McViolation& violation) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/mc-repro-" + std::to_string(violation.seed) +
+                           "-" + std::to_string(violation.iteration) + ".txt";
+  std::ofstream out(path);
+  ADSE_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << mc_repro_to_string(violation);
+  out.flush();
+  ADSE_REQUIRE_MSG(out.good(), "write to '" << path << "' failed");
+  violation.repro_path = path;
+}
+
+McViolation load_mc_repro(const std::string& path) {
+  std::ifstream in(path);
+  ADSE_REQUIRE_MSG(in.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  McViolation v = mc_repro_from_string(buffer.str());
+  v.repro_path = path;
+  return v;
+}
+
+}  // namespace adse::check

@@ -1,0 +1,106 @@
+#pragma once
+/// \file mc_fuzzer.hpp
+/// Multicore coherence fuzzing: hammer the tiled MSI machine with random
+/// (cores, directory scheme, directory size, VL, app, interleaving) points
+/// and assert the conservation laws of coherence/tiled_memory.hpp on every
+/// access (counter laws), at a periodic cadence and at end of run (full
+/// structural walks). The harness proves itself by injection: with a
+/// deliberate protocol defect (a dropped invalidation ack, a leaked sharer
+/// bit, a missed downgrade) the same laws must fire — and the violation is
+/// ddmin-shrunk parameter-at-a-time toward the smallest machine that still
+/// reproduces it, then written as a deterministic `adse-mc-repro v1` file
+/// that `check_tool --mc-repro` replays bit-for-bit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/tiled_memory.hpp"
+#include "config/cpu_config.hpp"
+#include "kernels/threaded.hpp"
+
+namespace adse::check {
+
+/// One multicore design point plus its schedule perturbation. The shrink
+/// baseline is the default-constructed value (2 cores, full map, auto
+/// entries, VL 128, ring, no skew).
+struct McPoint {
+  int num_cores = 2;
+  config::DirectoryScheme directory_scheme = config::DirectoryScheme::kFullMap;
+  int directory_entries = 0;  ///< 0 = auto (sparse only)
+  int vector_length_bits = 128;
+  kernels::McApp app = kernels::McApp::kRingPass;
+  /// Seeds the per-core start skews (0 = lockstep start). Distinct seeds
+  /// exercise distinct protocol race orderings deterministically.
+  std::uint64_t interleave_seed = 0;
+};
+
+/// The CpuConfig this point describes: the ThunderX2 baseline with the
+/// point's VL and multicore block applied.
+config::CpuConfig mc_point_config(const McPoint& point);
+
+/// One conservation-law violation found by the fuzzer (or loaded from a
+/// repro file).
+struct McViolation {
+  std::uint64_t seed = 0;       ///< fuzzer seed that produced it
+  std::uint64_t iteration = 0;  ///< fuzzer iteration that produced it
+  McPoint point;                ///< post-shrink: minimal machine that fires
+  coherence::InjectedBug inject = coherence::InjectedBug::kNone;
+  std::string message;          ///< first InvariantError text
+  std::string repro_path;       ///< where the repro was written ("" = none)
+};
+
+struct McFuzzOptions {
+  int iterations = 32;
+  std::uint64_t seed = 1;
+  /// Deliberate defect injected into every run (harness self-test: the
+  /// laws must catch it). kNone for production fuzzing.
+  coherence::InjectedBug inject = coherence::InjectedBug::kNone;
+  /// Largest tile count sampled (power of two >= 2).
+  int max_cores = 8;
+  bool shrink = true;
+  /// Directory for repro files ("" = do not write any).
+  std::string repro_dir;
+  bool verbose = false;
+
+  /// Defaults with max_cores taken from ADSE_CORES.
+  static McFuzzOptions from_env();
+};
+
+struct McFuzzReport {
+  int iterations = 0;
+  std::uint64_t runs = 0;  ///< multicore simulations executed
+  std::vector<McViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Runs one point under the armed check layer with `inject` applied.
+/// Returns the InvariantError message, or "" when every law held.
+std::string mc_run_point(const McPoint& point, coherence::InjectedBug inject);
+
+/// Deterministic for a fixed (iterations, seed, max_cores, inject):
+/// violations come back sorted by iteration, shrinking is sequential.
+McFuzzReport mc_fuzz(const McFuzzOptions& options);
+
+/// Re-runs a violation. True = still fires (same laws, any message).
+bool mc_reproduces(const McViolation& violation);
+
+/// Param-at-a-time ddmin toward the McPoint baseline: repeatedly resets
+/// each differing dimension (cores, scheme, entries, VL, app, interleaving)
+/// to its baseline value, keeping every reset that still fires, until a
+/// fixed point. Returns the number of dimensions still differing.
+std::size_t mc_shrink_violation(McViolation& violation);
+
+/// Deterministic text serialisation ("adse-mc-repro v1") and its inverse;
+/// the parser throws InvariantError on malformed input.
+std::string mc_repro_to_string(const McViolation& violation);
+McViolation mc_repro_from_string(const std::string& text);
+
+/// File wrappers. save_mc_repro creates `dir` if needed and names the file
+/// mc-repro-<seed>-<iteration>.txt, storing the path in the violation.
+void save_mc_repro(const std::string& dir, McViolation& violation);
+McViolation load_mc_repro(const std::string& path);
+
+}  // namespace adse::check

@@ -1,0 +1,162 @@
+#include "coherence/directory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace adse::coherence {
+
+namespace {
+
+/// SplitMix64 mixer (same hash as the memory hierarchy's TLB indexing): home
+/// slices see only every Nth line, so a raw modulo would alias whole strides
+/// onto a handful of directory sets.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Directory::Directory(config::DirectoryScheme scheme, int capacity)
+    : scheme_(scheme) {
+  if (scheme_ == config::DirectoryScheme::kSparse) {
+    ADSE_REQUIRE_MSG(capacity > 0,
+                     "sparse directory needs a positive capacity, got "
+                         << capacity);
+    assoc_ = std::min<std::size_t>(4, static_cast<std::size_t>(capacity));
+    sets_ = std::bit_floor(static_cast<std::size_t>(capacity) / assoc_);
+    if (sets_ == 0) sets_ = 1;
+    capacity_ = static_cast<int>(sets_ * assoc_);
+    ways_.assign(sets_ * assoc_, SparseWay{});
+  }
+}
+
+std::size_t Directory::sparse_set(std::uint64_t line_addr) const {
+  return static_cast<std::size_t>(mix(line_addr)) & (sets_ - 1);
+}
+
+void Directory::touch(SparseWay& way) {
+  if (++lru_clock_ == 0) {
+    for (auto& w : ways_) w.lru = 0;
+    lru_clock_ = 1;
+  }
+  way.lru = lru_clock_;
+}
+
+DirEntry* Directory::find(std::uint64_t line_addr) {
+  if (scheme_ == config::DirectoryScheme::kFullMap) {
+    const auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  const std::size_t base = sparse_set(line_addr) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    SparseWay& way = ways_[base + w];
+    if (way.valid && way.entry.line_addr == line_addr) {
+      touch(way);
+      return &way.entry;
+    }
+  }
+  return nullptr;
+}
+
+const DirEntry* Directory::find(std::uint64_t line_addr) const {
+  if (scheme_ == config::DirectoryScheme::kFullMap) {
+    const auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  const std::size_t base = sparse_set(line_addr) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    const SparseWay& way = ways_[base + w];
+    if (way.valid && way.entry.line_addr == line_addr) return &way.entry;
+  }
+  return nullptr;
+}
+
+DirEntry* Directory::get_or_alloc(std::uint64_t line_addr,
+                                  std::optional<DirEntry>* victim) {
+  ADSE_REQUIRE(victim != nullptr);
+  victim->reset();
+  if (scheme_ == config::DirectoryScheme::kFullMap) {
+    DirEntry& e = map_[line_addr];  // value-initialised on first touch
+    e.line_addr = line_addr;
+    return &e;
+  }
+
+  const std::size_t base = sparse_set(line_addr) * assoc_;
+  // Hit, then invalid way, then LRU victim — same policy as mem::Cache.
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    SparseWay& way = ways_[base + w];
+    if (way.valid && way.entry.line_addr == line_addr) {
+      touch(way);
+      return &way.entry;
+    }
+  }
+  std::size_t slot = 0;
+  std::uint32_t best_lru = ~0u;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    SparseWay& way = ways_[base + w];
+    if (!way.valid) {
+      slot = w;
+      best_lru = 0;
+      break;
+    }
+    if (way.lru < best_lru) {
+      best_lru = way.lru;
+      slot = w;
+    }
+  }
+  SparseWay& way = ways_[base + slot];
+  if (way.valid) {
+    *victim = way.entry;
+    evictions_++;
+  }
+  way.valid = true;
+  way.entry = DirEntry{};
+  way.entry.line_addr = line_addr;
+  touch(way);
+  return &way.entry;
+}
+
+void Directory::erase(std::uint64_t line_addr) {
+  if (scheme_ == config::DirectoryScheme::kFullMap) {
+    map_.erase(line_addr);
+    return;
+  }
+  const std::size_t base = sparse_set(line_addr) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    SparseWay& way = ways_[base + w];
+    if (way.valid && way.entry.line_addr == line_addr) {
+      way = SparseWay{};
+      return;
+    }
+  }
+}
+
+void Directory::visit(const std::function<void(const DirEntry&)>& fn) const {
+  if (scheme_ == config::DirectoryScheme::kFullMap) {
+    for (const auto& [addr, entry] : map_) fn(entry);
+    return;
+  }
+  for (const SparseWay& way : ways_) {
+    if (way.valid) fn(way.entry);
+  }
+}
+
+std::size_t Directory::size() const {
+  if (scheme_ == config::DirectoryScheme::kFullMap) return map_.size();
+  return static_cast<std::size_t>(
+      std::count_if(ways_.begin(), ways_.end(),
+                    [](const SparseWay& w) { return w.valid; }));
+}
+
+void Directory::reset() {
+  map_.clear();
+  std::fill(ways_.begin(), ways_.end(), SparseWay{});
+  lru_clock_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace adse::coherence

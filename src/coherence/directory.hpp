@@ -1,0 +1,93 @@
+#pragma once
+/// \file directory.hpp
+/// The MSI directory of one home L2 slice: which tiles hold each of the
+/// slice's lines, and which (if any) holds it Modified. Two organisations
+/// share the interface:
+///   * full-map — one entry per tracked line, unbounded (a presence
+///     bit-vector per L2-resident line, the textbook Censier/Feautrier
+///     directory);
+///   * sparse — a bounded set-associative entry table with LRU replacement;
+///     allocating over a full set evicts a victim entry, and the protocol
+///     must force-invalidate every cached copy of the victim's line before
+///     reusing it (Graphite's limited-directory behaviour).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "config/cpu_config.hpp"
+
+namespace adse::coherence {
+
+/// One directory record. `sharers` bit c set means tile c's L1 holds the
+/// line (Shared or Modified); `owner` is the tile holding it Modified, or -1.
+/// Protocol invariant: owner >= 0 implies sharers == (1u << owner).
+struct DirEntry {
+  std::uint64_t line_addr = 0;
+  std::uint32_t sharers = 0;
+  int owner = -1;
+};
+
+class Directory {
+ public:
+  /// `capacity` is the sparse entry budget per slice; ignored (unbounded)
+  /// for kFullMap. Sparse capacity is organised as up-to-4-way associative
+  /// sets, so the effective capacity is rounded down to sets*assoc.
+  Directory(config::DirectoryScheme scheme, int capacity);
+
+  config::DirectoryScheme scheme() const { return scheme_; }
+
+  /// Entries the sparse table can actually hold (0 = unbounded full map).
+  int capacity() const { return capacity_; }
+
+  /// The entry tracking `line_addr`, or nullptr when the line is uncached.
+  DirEntry* find(std::uint64_t line_addr);
+  const DirEntry* find(std::uint64_t line_addr) const;
+
+  /// The entry for `line_addr`, allocating one if needed. A sparse
+  /// allocation over a full set evicts the LRU victim: its final record is
+  /// returned through `victim` and the CALLER must invalidate every cached
+  /// copy of the victim's line before touching the returned entry (the
+  /// returned entry is already reset to track `line_addr` with no sharers).
+  /// Pointers remain valid until the next get_or_alloc/erase on this slice.
+  DirEntry* get_or_alloc(std::uint64_t line_addr,
+                         std::optional<DirEntry>* victim);
+
+  /// Drops the entry once the last sharer is gone (or the line left the L2).
+  /// No-op when the line is untracked.
+  void erase(std::uint64_t line_addr);
+
+  /// Calls `fn` on every live entry (conservation-law walks).
+  void visit(const std::function<void(const DirEntry&)>& fn) const;
+
+  /// Live entries.
+  std::size_t size() const;
+
+  /// Sparse victim evictions so far (always 0 for full map).
+  std::uint64_t evictions() const { return evictions_; }
+
+  void reset();
+
+ private:
+  struct SparseWay {
+    DirEntry entry;
+    std::uint32_t lru = 0;
+    bool valid = false;
+  };
+
+  std::size_t sparse_set(std::uint64_t line_addr) const;
+  void touch(SparseWay& way);
+
+  config::DirectoryScheme scheme_;
+  int capacity_ = 0;
+  std::size_t sets_ = 0;
+  std::size_t assoc_ = 0;
+  std::uint32_t lru_clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::uint64_t, DirEntry> map_;  // full map
+  std::vector<SparseWay> ways_;                      // sparse, set-major
+};
+
+}  // namespace adse::coherence

@@ -1,0 +1,86 @@
+#pragma once
+/// \file stats.hpp
+/// Aggregate counters of the tiled MSI memory subsystem, plus the capacity
+/// resolution shared by the directory itself and the power model. Kept
+/// header-only (no link dependency) so adse::power can price directory
+/// storage and invalidation traffic without linking the protocol engine.
+
+#include <cstdint>
+
+#include "config/cpu_config.hpp"
+
+namespace adse::coherence {
+
+/// Everything the tiled memory subsystem counts, summed over all tiles.
+/// The conservation laws the checker enforces live on top of these:
+///   * invalidations_sent == invalidation_acks (no message is ever lost);
+///   * sharer_adds - sharer_drops == sharer bits currently set in the
+///     directory (the per-line epoch counters balance);
+///   * l1_hits + l1_misses == line_requests, l2_hits + l2_misses ==
+///     directory_lookups served from the slice (demand accounting).
+struct CoherenceStats {
+  // Demand traffic (same meaning as mem::MemStats, aggregated over tiles).
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t line_requests = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t ram_requests = 0;
+  std::uint64_t l1_reads = 0;
+  std::uint64_t l1_writes = 0;
+  std::uint64_t l2_reads = 0;
+  std::uint64_t l2_writes = 0;
+  std::uint64_t dirty_writebacks = 0;  ///< L2 victim lines written to DRAM
+
+  // Protocol events.
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t invalidation_acks = 0;
+  std::uint64_t downgrades = 0;          ///< remote M -> S on a read miss
+  std::uint64_t upgrades = 0;            ///< local S -> M on a store hit
+  std::uint64_t writebacks_owner = 0;    ///< M data pulled back to the home L2
+  std::uint64_t writebacks_eviction = 0; ///< M line evicted from its L1
+  std::uint64_t directory_evictions = 0; ///< sparse entry evictions
+  std::uint64_t l2_back_invalidations = 0; ///< L2 eviction recalled L1 copies
+  std::uint64_t remote_requests = 0;     ///< misses homed at a remote tile
+
+  // Per-line epoch counters: every sharer-bit set / cleared, in order. Their
+  // difference must equal the live directory population at any quiescent
+  // point — the cheapest whole-system conservation law.
+  std::uint64_t sharer_adds = 0;
+  std::uint64_t sharer_drops = 0;
+
+  /// Messages that crossed the on-tile network (for the power model).
+  std::uint64_t network_messages() const {
+    return invalidations_sent + invalidation_acks + downgrades +
+           writebacks_owner + l2_back_invalidations + remote_requests;
+  }
+
+  double l1_hit_rate() const {
+    const auto total = l1_hits + l1_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l1_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Sparse-directory capacity per L2 slice after resolving the auto default:
+/// `directory_entries` itself when positive, otherwise a quarter of the
+/// slice's lines (canonically under-provisioned, so directory pressure is a
+/// real effect of the scheme). A full-map directory has no capacity — this
+/// value sizes its storage for the power model (one entry per L2 line).
+inline int resolved_directory_entries(const config::MemParams& mem,
+                                      const config::MulticoreParams& mc) {
+  const int slice_lines =
+      static_cast<int>(static_cast<std::int64_t>(mem.l2_size_kib) * 1024 /
+                       mem.cache_line_bytes);
+  if (mc.directory_scheme == config::DirectoryScheme::kFullMap) {
+    return slice_lines;
+  }
+  if (mc.directory_entries > 0) return mc.directory_entries;
+  return slice_lines > 4 ? slice_lines / 4 : 1;
+}
+
+}  // namespace adse::coherence

@@ -89,4 +89,11 @@ std::int64_t serve_workers() {
   return n;
 }
 
+std::int64_t mc_cores() {
+  const std::int64_t n = env_int("ADSE_CORES", 8);
+  ADSE_REQUIRE_MSG(n >= 2 && n <= 16 && (n & (n - 1)) == 0,
+                   "ADSE_CORES must be a power of two in [2,16], got " << n);
+  return n;
+}
+
 }  // namespace adse

@@ -43,6 +43,9 @@ const std::array<std::string, kNumParams> kParamNames = {
 
 bool is_pow2(long long v) { return v > 0 && (v & (v - 1)) == 0; }
 
+const std::array<std::string, 2> kDirectorySchemeNames = {"full_map",
+                                                          "sparse"};
+
 void check_range(bool ok, const char* what, double value) {
   ADSE_REQUIRE_MSG(ok, "parameter '" << what << "' out of range: " << value);
 }
@@ -53,6 +56,22 @@ const std::string& param_name(ParamId id) {
   const auto idx = static_cast<std::size_t>(id);
   ADSE_REQUIRE(idx < kNumParams);
   return kParamNames[idx];
+}
+
+const std::string& directory_scheme_name(DirectoryScheme scheme) {
+  const auto idx = static_cast<std::size_t>(scheme);
+  ADSE_REQUIRE(idx < kDirectorySchemeNames.size());
+  return kDirectorySchemeNames[idx];
+}
+
+DirectoryScheme directory_scheme_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kDirectorySchemeNames.size(); ++i) {
+    if (kDirectorySchemeNames[i] == name) {
+      return static_cast<DirectoryScheme>(i);
+    }
+  }
+  ADSE_REQUIRE_MSG(false, "unknown directory scheme '" << name << "'");
+  return DirectoryScheme::kFullMap;  // unreachable
 }
 
 ParamId param_from_name(const std::string& name) {
@@ -243,6 +262,18 @@ void validate(const CpuConfig& cfg) {
   check_range(b.pred_ports >= 0 && b.pred_ports <= 16, "pred_ports",
               b.pred_ports);
   check_range(b.mix_ports >= 1 && b.mix_ports <= 16, "mix_ports", b.mix_ports);
+
+  // Multicore tile parameters (adse::coherence). Tiles are a power of two so
+  // the address-interleaved L2 slice index is a mask; the directory bitmaps
+  // are 32-bit, bounding the tile count.
+  const MulticoreParams& t = cfg.mc;
+  check_range(t.num_cores >= 1 && t.num_cores <= 16 && is_pow2(t.num_cores),
+              "num_cores", t.num_cores);
+  check_range(t.directory_entries >= 0 && t.directory_entries <= (1 << 20),
+              "directory_entries", t.directory_entries);
+  ADSE_REQUIRE_MSG(t.directory_scheme == DirectoryScheme::kFullMap ||
+                       t.directory_scheme == DirectoryScheme::kSparse,
+                   "invalid directory scheme");
 
   // The cache must be able to hold at least one line per set.
   ADSE_REQUIRE_MSG(

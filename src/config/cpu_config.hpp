@@ -66,6 +66,38 @@ struct MemParams {
   int prefetch_distance = 4;     ///< Next-line prefetch depth in lines {0..16}.
 };
 
+/// Directory organisation for the multicore tiled memory subsystem
+/// (adse::coherence). kFullMap keeps one presence bit-vector per L2-resident
+/// line (no directory capacity pressure); kSparse keeps a bounded
+/// set-associative entry table per L2 slice — a directory-entry eviction
+/// force-invalidates every cached copy of the victim line (Graphite's
+/// limited-directory behaviour).
+enum class DirectoryScheme : int { kFullMap = 0, kSparse = 1 };
+
+/// Short machine name ("full_map" / "sparse") and its inverse.
+const std::string& directory_scheme_name(DirectoryScheme scheme);
+DirectoryScheme directory_scheme_from_name(const std::string& name);
+
+/// Multicore tile parameters — a design-space axis the paper never explored
+/// (its study is strictly single-core, §III). N tiles each pair one logical
+/// core with a private L1 and one address-interleaved slice of the shared L2;
+/// an MSI directory at each home slice keeps the L1s coherent. Defaults
+/// describe the paper's single-core machine, so every existing config,
+/// feature vector, eval-store key and golden cycle count is untouched. The
+/// three multicore knobs deliberately stay OUTSIDE the frozen 30-feature ML
+/// layout (kNumParams); bench/96 searches them with its own guided loop over
+/// (cores, scheme, entries, VL).
+struct MulticoreParams {
+  int num_cores = 1;  ///< tiles {1,2,4,8,16}, pow2
+  DirectoryScheme directory_scheme = DirectoryScheme::kFullMap;
+  /// Sparse-directory capacity in entries per L2 slice. 0 = auto-size to a
+  /// quarter of the slice's lines (a canonically under-provisioned sparse
+  /// directory, so eviction pressure exists). Ignored by kFullMap.
+  int directory_entries = 0;
+
+  bool multicore() const { return num_cores > 1; }
+};
+
 /// The execution backend. §V-A deliberately FIXES this across the study
 /// ("the design of the execution units, ports, reservation stations ... are
 /// fixed to limit the scope"), so it is not part of the 30-feature search
@@ -80,11 +112,15 @@ struct BackendSpec {
   int mix_ports = 3;   ///< INT / scalar-FP / branch ports
 };
 
-/// A complete simulated CPU: one core plus its private memory backend.
+/// A complete simulated CPU: one core plus its private memory backend — or,
+/// when mc.num_cores > 1, N such tiles sharing an interleaved L2 under an
+/// MSI directory (adse::coherence). In the tiled reading, `mem.l1_size_kib`
+/// is each tile's private L1 and `mem.l2_size_kib` each tile's L2 slice.
 struct CpuConfig {
   CoreParams core;
   MemParams mem;
   BackendSpec backend;
+  MulticoreParams mc;
 
   /// Human-readable name used in reports ("thunderx2", "sampled-001", ...).
   std::string name = "unnamed";

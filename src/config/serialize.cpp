@@ -39,11 +39,21 @@ std::string to_yaml(const CpuConfig& config) {
     os << "  " << param_name(static_cast<ParamId>(i)) << ": "
        << format_value(f[i]) << '\n';
   }
+  // The multicore tile block only appears for tiled configs, keeping the
+  // single-core document byte-identical to the pre-coherence schema.
+  if (config.mc.multicore()) {
+    os << "multicore:\n";
+    os << "  num_cores: " << config.mc.num_cores << '\n';
+    os << "  directory_scheme: "
+       << directory_scheme_name(config.mc.directory_scheme) << '\n';
+    os << "  directory_entries: " << config.mc.directory_entries << '\n';
+  }
   return os.str();
 }
 
 CpuConfig config_from_yaml(const std::string& yaml) {
   std::array<double, kNumParams> f = feature_vector(CpuConfig{});
+  MulticoreParams mc;
   std::string name = "unnamed";
   std::istringstream is(yaml);
   std::string line;
@@ -61,13 +71,25 @@ CpuConfig config_from_yaml(const std::string& yaml) {
     const std::string value{trim(trimmed.substr(colon + 1))};
 
     if (value.empty()) {
-      ADSE_REQUIRE_MSG(key == "core" || key == "memory",
+      ADSE_REQUIRE_MSG(key == "core" || key == "memory" || key == "multicore",
                        "unknown YAML section '" << key << "'");
       section = key;
       continue;
     }
     if (key == "name") {
       name = value;
+      continue;
+    }
+    if (section == "multicore") {
+      if (key == "num_cores") {
+        mc.num_cores = static_cast<int>(parse_double(value));
+      } else if (key == "directory_scheme") {
+        mc.directory_scheme = directory_scheme_from_name(value);
+      } else if (key == "directory_entries") {
+        mc.directory_entries = static_cast<int>(parse_double(value));
+      } else {
+        ADSE_REQUIRE_MSG(false, "unknown multicore key '" << key << "'");
+      }
       continue;
     }
     const ParamId id = param_from_name(key);
@@ -80,6 +102,7 @@ CpuConfig config_from_yaml(const std::string& yaml) {
     f[idx] = parse_double(value);
   }
   CpuConfig config = config_from_features(f);
+  config.mc = mc;
   config.name = name;
   validate(config);
   return config;

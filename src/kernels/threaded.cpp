@@ -1,0 +1,211 @@
+#include "kernels/threaded.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/require.hpp"
+#include "kernels/kernel_builder.hpp"
+
+namespace adse::kernels {
+
+namespace {
+
+/// Ring slot placement. The stride is an ODD number of lines so slot i's
+/// lines home at slice (5*i*lines_per_slot...) mod N — i.e. the slots rotate
+/// over all home slices for any power-of-two tile count, instead of all
+/// landing on slice 0 as a page-aligned stride would.
+constexpr std::uint64_t kRingBase = 0x5000'0000;
+constexpr int kSlotStrideLines = 5;
+
+/// STREAM array bases — same values as stream.cpp (the threaded variant
+/// touches the same logical arrays, partitioned instead of replicated).
+constexpr std::uint64_t kBaseA = 0x1000'0000;
+constexpr std::uint64_t kBaseB = 0x2000'0440;
+constexpr std::uint64_t kBaseC = 0x3000'08c0;
+constexpr std::uint32_t kElem = 8;  // f64
+
+constexpr std::array<const char*, 2> kMcNames = {"RingPass", "ThreadedStream"};
+constexpr std::array<const char*, 2> kMcSlugs = {"ring_pass",
+                                                 "threaded_stream"};
+
+/// Which of the four STREAM kernels to emit (mirrors stream.cpp).
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+void emit_stream_chunk(KernelBuilder& b, StreamKernel kernel, int first_elem,
+                       int elems, int lanes) {
+  const int iters = (elems + lanes - 1) / lanes;
+  const std::uint32_t vec_bytes = static_cast<std::uint32_t>(lanes) * kElem;
+  const std::uint64_t base_off =
+      static_cast<std::uint64_t>(first_elem) * kElem;
+
+  b.begin_loop();
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t off =
+        base_off + static_cast<std::uint64_t>(i) * vec_bytes;
+    b.begin_iteration();
+    b.whilelo(pred(0), gp(1), gp(2));
+    switch (kernel) {
+      case StreamKernel::kCopy:  // c[i] = a[i]
+        b.load(fp(0), kBaseA + off, vec_bytes, gp(1), pred(0));
+        b.store(kBaseC + off, vec_bytes, fp(0), gp(1), pred(0));
+        break;
+      case StreamKernel::kScale:  // b[i] = s * c[i]
+        b.load(fp(0), kBaseC + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(1), fp(0), fp(8));
+        b.store(kBaseB + off, vec_bytes, fp(1), gp(1), pred(0));
+        break;
+      case StreamKernel::kAdd:  // c[i] = a[i] + b[i]
+        b.load(fp(0), kBaseA + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBaseB + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(2), fp(0), fp(1));
+        b.store(kBaseC + off, vec_bytes, fp(2), gp(1), pred(0));
+        break;
+      case StreamKernel::kTriad:  // a[i] = b[i] + s * c[i]
+        b.load(fp(0), kBaseB + off, vec_bytes, gp(1), pred(0));
+        b.load(fp(1), kBaseC + off, vec_bytes, gp(1), pred(0));
+        b.op(InstrGroup::kVec, fp(2), fp(1), fp(8), fp(0));
+        b.store(kBaseA + off, vec_bytes, fp(2), gp(1), pred(0));
+        break;
+    }
+    b.op(InstrGroup::kInt, gp(1), gp(1));
+    b.branch();
+    b.end_iteration();
+  }
+  b.end_loop();
+}
+
+}  // namespace
+
+const std::string& mc_app_name(McApp app) {
+  static const std::array<std::string, 2> names = {kMcNames[0], kMcNames[1]};
+  const auto idx = static_cast<std::size_t>(app);
+  ADSE_REQUIRE_MSG(idx < names.size(), "invalid McApp " << idx);
+  return names[idx];
+}
+
+const std::string& mc_app_slug(McApp app) {
+  static const std::array<std::string, 2> slugs = {kMcSlugs[0], kMcSlugs[1]};
+  const auto idx = static_cast<std::size_t>(app);
+  ADSE_REQUIRE_MSG(idx < slugs.size(), "invalid McApp " << idx);
+  return slugs[idx];
+}
+
+McApp mc_app_from_slug(const std::string& slug) {
+  for (std::size_t i = 0; i < kMcSlugs.size(); ++i) {
+    if (slug == kMcSlugs[i]) return static_cast<McApp>(i);
+  }
+  ADSE_REQUIRE_MSG(false, "unknown multicore app slug '" << slug << "'");
+  return McApp::kRingPass;
+}
+
+const std::vector<McApp>& all_mc_apps() {
+  static const std::vector<McApp> apps = {McApp::kRingPass,
+                                          McApp::kThreadedStream};
+  return apps;
+}
+
+ThreadedProgram build_ring_pass(const RingInput& input, int num_threads,
+                                int vector_length_bits) {
+  ADSE_REQUIRE(input.rounds > 0);
+  ADSE_REQUIRE_MSG(input.payload_lines >= 1 &&
+                       input.payload_lines < kSlotStrideLines,
+                   "payload must fit inside one slot stride, got "
+                       << input.payload_lines);
+  ADSE_REQUIRE(num_threads >= 1);
+  (void)vector_length_bits;  // scalar communication: deliberately VL-agnostic
+
+  // Line width is a config knob, not a trace property; 64 B slot spacing
+  // means the slots stay on distinct lines for every line width <= 256 B
+  // times the stride. We use the widest supported line so no two slots ever
+  // share a line.
+  constexpr std::uint64_t kLineBytes = 256;
+  const std::uint64_t slot_stride =
+      static_cast<std::uint64_t>(kSlotStrideLines) * kLineBytes;
+
+  ThreadedProgram tp;
+  tp.name = "ring_pass";
+  for (int t = 0; t < num_threads; ++t) {
+    KernelBuilder b("ring_pass.t" + std::to_string(t));
+    const int pred_thread = (t + num_threads - 1) % num_threads;
+    const std::uint64_t own_slot = kRingBase + t * slot_stride;
+    const std::uint64_t pred_slot = kRingBase + pred_thread * slot_stride;
+
+    b.op(InstrGroup::kInt, gp(2));  // round limit
+    b.op(InstrGroup::kInt, gp(1));  // round index
+    b.begin_loop();
+    for (int r = 0; r < input.rounds; ++r) {
+      b.begin_iteration();
+      // Receive: read the predecessor's payload (downgrades its M copies).
+      for (int l = 0; l < input.payload_lines; ++l) {
+        b.load(gp(3 + l), pred_slot + static_cast<std::uint64_t>(l) * kLineBytes,
+               8, gp(1));
+      }
+      // "Compute" on the token.
+      b.op(InstrGroup::kInt, gp(3), gp(3), gp(4));
+      // Send: publish into the own slot (upgrades / fetch-exclusive).
+      for (int l = 0; l < input.payload_lines; ++l) {
+        b.store(own_slot + static_cast<std::uint64_t>(l) * kLineBytes, 8,
+                gp(3), gp(1));
+      }
+      b.op(InstrGroup::kInt, gp(1), gp(1));  // round++
+      b.cmp(gp(1), gp(2));
+      b.branch();
+      b.end_iteration();
+    }
+    b.end_loop();
+    b.note_footprint(static_cast<std::uint64_t>(num_threads) * slot_stride);
+    tp.threads.push_back(b.take());
+  }
+  return tp;
+}
+
+ThreadedProgram build_threaded_stream(const StreamInput& input,
+                                      int num_threads,
+                                      int vector_length_bits) {
+  ADSE_REQUIRE(input.array_elements > 0);
+  ADSE_REQUIRE(input.repetitions > 0);
+  ADSE_REQUIRE(num_threads >= 1);
+  const int lanes = lanes_f64(vector_length_bits);
+  ADSE_REQUIRE_MSG(lanes >= 1, "vector too short for f64 lanes");
+
+  const int chunk = (input.array_elements + num_threads - 1) / num_threads;
+
+  ThreadedProgram tp;
+  tp.name = "threaded_stream";
+  for (int t = 0; t < num_threads; ++t) {
+    const int first = t * chunk;
+    const int elems = std::min(chunk, input.array_elements - first);
+    KernelBuilder b("threaded_stream.t" + std::to_string(t));
+    b.op(InstrGroup::kInt, gp(2));             // limit
+    b.op(InstrGroup::kInt, gp(1));             // index
+    b.load(fp(8), kBaseA - 64, kElem, gp(2));  // broadcast scalar s
+
+    if (elems > 0) {
+      for (int rep = 0; rep < input.repetitions; ++rep) {
+        emit_stream_chunk(b, StreamKernel::kCopy, first, elems, lanes);
+        emit_stream_chunk(b, StreamKernel::kScale, first, elems, lanes);
+        emit_stream_chunk(b, StreamKernel::kAdd, first, elems, lanes);
+        emit_stream_chunk(b, StreamKernel::kTriad, first, elems, lanes);
+      }
+    }
+    b.note_footprint(3ull *
+                     static_cast<std::uint64_t>(input.array_elements) * kElem);
+    tp.threads.push_back(b.take());
+  }
+  return tp;
+}
+
+ThreadedProgram build_mc_app(McApp app, int num_threads,
+                             int vector_length_bits) {
+  switch (app) {
+    case McApp::kRingPass:
+      return build_ring_pass(RingInput{}, num_threads, vector_length_bits);
+    case McApp::kThreadedStream:
+      return build_threaded_stream(StreamInput{}, num_threads,
+                                   vector_length_bits);
+  }
+  ADSE_REQUIRE_MSG(false, "invalid McApp " << static_cast<int>(app));
+  return {};
+}
+
+}  // namespace adse::kernels

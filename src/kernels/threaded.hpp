@@ -1,0 +1,65 @@
+#pragma once
+/// \file threaded.hpp
+/// Multi-threaded µop traces for the tiled multicore model (one isa::Program
+/// per logical core). Two microbenchmarks span the communication spectrum:
+///   * ring message-pass — each core repeatedly reads its predecessor's slot
+///     and writes its own, so every round is a chain of M->S downgrades and
+///     S->M upgrades around the ring: pure coherence traffic, VL-insensitive;
+///   * thread-parallel STREAM — the classic four-kernel bandwidth code with
+///     the arrays block-partitioned across cores: almost no true sharing
+///     (only chunk-boundary lines), contention concentrates on the shared
+///     memory controller instead.
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "kernels/workloads.hpp"
+
+namespace adse::kernels {
+
+/// One trace per logical core, simulated in lockstep by sim::simulate_multicore.
+struct ThreadedProgram {
+  std::string name;
+  std::vector<isa::Program> threads;
+
+  int num_threads() const { return static_cast<int>(threads.size()); }
+};
+
+/// Multicore application identifiers (bench/96, golden pins, fuzzer).
+enum class McApp : int { kRingPass = 0, kThreadedStream = 1 };
+
+inline constexpr int kNumMcApps = 2;
+
+/// Display name ("RingPass", "ThreadedStream").
+const std::string& mc_app_name(McApp app);
+
+/// Lower-case machine name ("ring_pass", "threaded_stream").
+const std::string& mc_app_slug(McApp app);
+
+/// Inverse of mc_app_slug; throws on unknown names.
+McApp mc_app_from_slug(const std::string& slug);
+
+/// All multicore apps in order.
+const std::vector<McApp>& all_mc_apps();
+
+/// Ring message-pass inputs. Slots are placed an odd number of lines apart
+/// so their home slices rotate around the ring instead of piling onto one.
+struct RingInput {
+  int rounds = 64;        ///< full passes of the token around the ring
+  int payload_lines = 2;  ///< cache lines exchanged per hop
+};
+
+ThreadedProgram build_ring_pass(const RingInput& input, int num_threads,
+                                int vector_length_bits);
+
+/// Thread-parallel STREAM: same arrays and kernel order as build_stream,
+/// block-partitioned by thread (thread t owns elements [t*chunk, (t+1)*chunk)).
+ThreadedProgram build_threaded_stream(const StreamInput& input, int num_threads,
+                                      int vector_length_bits);
+
+/// Builds an app's trace with the study's default inputs.
+ThreadedProgram build_mc_app(McApp app, int num_threads,
+                             int vector_length_bits);
+
+}  // namespace adse::kernels

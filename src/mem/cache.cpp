@@ -102,6 +102,49 @@ Eviction Cache::insert(std::uint64_t addr, bool dirty) {
   return ev;
 }
 
+bool Cache::dirty(std::uint64_t addr) const {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) return way.dirty;
+  }
+  return false;
+}
+
+bool Cache::mark_dirty(std::uint64_t addr, bool dirty) {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      way.dirty = dirty;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  const std::size_t base = set_index(addr) * geom_.associativity;
+  const std::uint64_t tag = tag_of(addr);
+  for (std::size_t w = 0; w < geom_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      way = Way{};
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::visit_lines(
+    const std::function<void(std::uint64_t, bool)>& fn) const {
+  for (const Way& way : ways_) {
+    if (way.valid) fn(way.tag << line_shift_, way.dirty);
+  }
+}
+
 void Cache::reset() {
   for (auto& w : ways_) w = Way{};
   lru_clock_ = 0;

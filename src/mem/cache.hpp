@@ -5,6 +5,7 @@
 /// data movement costs are accounted by the MemoryHierarchy.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace adse::mem {
@@ -48,6 +49,28 @@ class Cache {
 
   /// Invalidates everything (between simulation runs).
   void reset();
+
+  // --- coherence hooks (adse::coherence) -----------------------------------
+  // A private L1 under the MSI protocol encodes its per-line state in the
+  // bits this class already keeps: valid+dirty = Modified, valid+clean =
+  // Shared, absent = Invalid. These hooks let the directory downgrade,
+  // upgrade and invalidate remote copies, and let the conservation-law
+  // checker enumerate resident lines.
+
+  /// True iff the line containing `addr` is resident AND dirty (M state).
+  bool dirty(std::uint64_t addr) const;
+
+  /// Sets/clears the dirty bit of a resident line (S<->M transitions).
+  /// Returns false (and does nothing) when the line is absent.
+  bool mark_dirty(std::uint64_t addr, bool dirty);
+
+  /// Drops the line containing `addr` (directory-initiated invalidation).
+  /// Returns true iff the line was resident.
+  bool invalidate(std::uint64_t addr);
+
+  /// Calls `fn(line_addr, dirty)` for every resident line (checker walks).
+  void visit_lines(
+      const std::function<void(std::uint64_t, bool)>& fn) const;
 
   std::uint64_t line_addr(std::uint64_t addr) const { return addr & ~line_mask_; }
 

@@ -155,4 +155,57 @@ PowerResult analyze(const config::CpuConfig& config,
   return r;
 }
 
+double directory_area_mm2(const config::CpuConfig& config) {
+  const int tiles = config.mc.num_cores;
+  const int entries_per_slice =
+      coherence::resolved_directory_entries(config.mem, config.mc);
+  const double entry_bits =
+      static_cast<double>(tiles) + kDirEntryOverheadBits;
+  return kDirectoryBitMm2 * entry_bits *
+         static_cast<double>(entries_per_slice) * static_cast<double>(tiles);
+}
+
+double multicore_area_mm2(const config::CpuConfig& config) {
+  return static_cast<double>(config.mc.num_cores) * area_mm2(config) +
+         directory_area_mm2(config);
+}
+
+PowerResult analyze_multicore(const config::CpuConfig& config,
+                              std::uint64_t cycles,
+                              std::uint64_t retired_uops,
+                              const coherence::CoherenceStats& mem) {
+  const config::CoreParams& c = config.core;
+  PowerResult r;
+  r.area_mm2 = multicore_area_mm2(config);
+  const double seconds =
+      static_cast<double>(cycles) / (config::kCoreClockGhz * 1.0e9);
+  r.leakage_j = kLeakageWattsPerMm2 * r.area_mm2 * seconds;
+
+  // The in-order tile core has no RS/regfile event counters; its pipeline
+  // cost is folded into one per-retired-µop term (frontend + ROB-equivalent
+  // tracking structures).
+  const double rob_scale = std::sqrt(static_cast<double>(c.rob_size) / 180.0);
+  double pj = (kFrontendOpPj + rob_scale * (kRobWritePj + kRobReadPj)) *
+              static_cast<double>(retired_uops);
+
+  const double l1_read = l1_read_energy_pj(config.mem);
+  const double l2_read = l2_read_energy_pj(config.mem);
+  pj += l1_read * (static_cast<double>(mem.l1_reads) +
+                   kCacheWriteFactor * static_cast<double>(mem.l1_writes));
+  pj += l2_read * (static_cast<double>(mem.l2_reads) +
+                   kCacheWriteFactor * static_cast<double>(mem.l2_writes));
+  pj += kRamPjPerByte * static_cast<double>(config.mem.cache_line_bytes) *
+        static_cast<double>(mem.ram_requests + mem.dirty_writebacks);
+
+  // What multicore adds over N independent cores: directory lookups at the
+  // home slices and every message the protocol pushes across the network.
+  pj += kDirectoryLookupPj * static_cast<double>(mem.directory_lookups);
+  pj += kCoherenceMsgPj * static_cast<double>(mem.network_messages());
+
+  r.dynamic_j = 1.0e-12 * pj;
+  ADSE_REQUIRE_MSG(r.dynamic_j >= 0.0 && r.leakage_j >= 0.0,
+                   "negative energy from multicore power model");
+  return r;
+}
+
 }  // namespace adse::power

@@ -24,8 +24,10 @@
 /// the event mix.
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "coherence/stats.hpp"
 #include "config/cpu_config.hpp"
 #include "core/core_stats.hpp"
 #include "mem/hierarchy.hpp"
@@ -83,6 +85,17 @@ inline constexpr double kRamPjPerByte = 20.0;
 inline constexpr double kLsqSearchPj = 1.5;   ///< per load/store sent, CAM
 inline constexpr double kFrontendOpPj = 1.5;  ///< fetch/decode/rename per µop
 inline constexpr double kWakeupPj = 0.3;      ///< per RS operand wakeup
+
+// ---- multicore coherence (adse::coherence) -------------------------------
+/// Directory SRAM: area per storage bit. An entry costs one presence bit per
+/// tile plus kDirEntryOverheadBits (owner field, state, sparse tag).
+inline constexpr double kDirectoryBitMm2 = 1.6e-7;
+inline constexpr int kDirEntryOverheadBits = 38;
+/// Per coherence message crossing the tile network (invalidation, ack,
+/// downgrade, owner writeback, back-invalidation, remote request).
+inline constexpr double kCoherenceMsgPj = 6.0;
+/// Per directory lookup at a home slice (CAM/tag probe beside the L2 tags).
+inline constexpr double kDirectoryLookupPj = 2.0;
 
 /// What the model returns for one run. NaN until computed (results loaded
 /// from a pre-power eval store keep the NaN default).
@@ -157,5 +170,27 @@ EnergyBreakdown dynamic_breakdown(const config::CpuConfig& config,
 /// costs exactly leakage.
 PowerResult analyze(const config::CpuConfig& config,
                     const core::CoreStats& core, const mem::MemStats& mem);
+
+// ---- multicore -----------------------------------------------------------
+
+/// Directory storage area across all home slices: num_cores entries tables,
+/// each entry holding one presence bit per tile plus the overhead bits, with
+/// full-map capacity = one entry per slice line and sparse capacity =
+/// resolved_directory_entries().
+double directory_area_mm2(const config::CpuConfig& config);
+
+/// Total die area of the tiled machine: num_cores single-tile replicas
+/// (core + private L1 + L2 slice) plus the directory storage.
+double multicore_area_mm2(const config::CpuConfig& config);
+
+/// Power/area of a tiled multicore run: tile-replicated leakage plus dynamic
+/// energy priced from the coherence counters — cache and DRAM events as in
+/// the single-core model, plus per-message network energy and per-lookup
+/// directory energy. The tile core model retires in order, so regfile/RS
+/// events are folded into the per-µop frontend cost.
+PowerResult analyze_multicore(const config::CpuConfig& config,
+                              std::uint64_t cycles,
+                              std::uint64_t retired_uops,
+                              const coherence::CoherenceStats& mem);
 
 }  // namespace adse::power

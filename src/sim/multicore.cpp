@@ -1,0 +1,150 @@
+#include "sim/multicore.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/require.hpp"
+
+namespace adse::sim {
+
+namespace {
+
+/// Per-tile in-order execution state.
+struct TileState {
+  std::size_t pc = 0;             ///< next µop index
+  std::uint64_t stall_until = 0;  ///< earliest cycle the core may issue again
+  std::uint64_t finish_cycle = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+MulticoreResult simulate_multicore(const config::CpuConfig& config,
+                                   const kernels::ThreadedProgram& program,
+                                   const MulticoreOptions& options) {
+  const int cores = config.mc.num_cores;
+  ADSE_REQUIRE_MSG(program.num_threads() == cores,
+                   "program has " << program.num_threads()
+                                  << " threads but config.mc.num_cores is "
+                                  << cores);
+  ADSE_REQUIRE_MSG(options.start_skew.empty() ||
+                       options.start_skew.size() ==
+                           static_cast<std::size_t>(cores),
+                   "start_skew must be empty or one entry per core");
+  config::validate(config);
+  const bool checks = CheckContext::enabled();
+
+  coherence::TiledOptions tiled_options;
+  tiled_options.inject = options.inject;
+  coherence::TiledMemory tiled(config, config::kCoreClockGhz, tiled_options);
+
+  // The tile core retires at most commit_width µops per cycle (in-order,
+  // retire-bound), stalls on load data, and posts stores (their bandwidth
+  // and coherence actions are charged by TiledMemory at issue time).
+  const int width = config.core.commit_width;
+
+  std::vector<TileState> state(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    if (!options.start_skew.empty()) {
+      state[cs].stall_until = options.start_skew[cs];
+    }
+    if (program.threads[cs].ops.empty()) {
+      state[cs].done = true;
+      state[cs].finish_cycle = 0;
+    }
+  }
+
+  MulticoreResult result;
+  result.app = program.name;
+  result.config_name = config.name;
+  result.num_cores = cores;
+
+  std::uint64_t cycle = 0;
+  std::uint64_t entered_cycles = 0;
+  int running = static_cast<int>(
+      std::count_if(state.begin(), state.end(),
+                    [](const TileState& t) { return !t.done; }));
+
+  while (running > 0) {
+    ADSE_REQUIRE_MSG(cycle < options.max_cycles,
+                     "multicore simulation exceeded " << options.max_cycles
+                                                      << " cycles (livelock?)");
+    entered_cycles++;
+    if (checks && options.walk_every != 0 &&
+        entered_cycles % options.walk_every == 0) {
+      tiled.verify("periodic walk");
+    }
+
+    std::uint64_t next_event = ~0ull;
+    bool any_issued = false;
+    for (int c = 0; c < cores; ++c) {
+      const auto cs = static_cast<std::size_t>(c);
+      TileState& ts = state[cs];
+      if (ts.done) continue;
+      if (ts.stall_until > cycle) {
+        next_event = std::min(next_event, ts.stall_until);
+        continue;
+      }
+      const auto& ops = program.threads[cs].ops;
+      int slots = width;
+      while (slots > 0 && ts.pc < ops.size()) {
+        const isa::MicroOp& op = ops[ts.pc];
+        if (op.is_memory()) {
+          const bool is_store = op.group == isa::InstrGroup::kStore;
+          const mem::AccessResult res =
+              tiled.access(c, op.mem_addr, op.mem_size_bytes, is_store, cycle);
+          ts.pc++;
+          result.retired_uops++;
+          slots--;
+          if (!is_store && res.ready_cycle > cycle + 1) {
+            // Blocking load: the in-order core waits for the data.
+            ts.stall_until = res.ready_cycle;
+            break;
+          }
+        } else {
+          ts.pc++;
+          result.retired_uops++;
+          slots--;
+        }
+      }
+      any_issued = true;
+      if (ts.pc >= ops.size()) {
+        ts.done = true;
+        ts.finish_cycle = cycle + 1;
+        running--;
+      } else if (ts.stall_until > cycle) {
+        next_event = std::min(next_event, ts.stall_until);
+      }
+    }
+
+    if (!any_issued && next_event != ~0ull && next_event > cycle + 1) {
+      // Every live core is stalled: skip straight to the next wake-up.
+      cycle = next_event;
+    } else {
+      cycle++;
+    }
+  }
+
+  if (checks) tiled.verify("end of run");
+
+  result.per_core_cycles.reserve(state.size());
+  for (const TileState& ts : state) {
+    result.per_core_cycles.push_back(ts.finish_cycle);
+    result.cycles = std::max(result.cycles, ts.finish_cycle);
+  }
+  result.mem = tiled.stats();
+  result.power = power::analyze_multicore(config, result.cycles,
+                                          result.retired_uops, result.mem);
+  return result;
+}
+
+MulticoreResult simulate_mc_app(const config::CpuConfig& config,
+                                kernels::McApp app,
+                                const MulticoreOptions& options) {
+  const kernels::ThreadedProgram program = kernels::build_mc_app(
+      app, config.mc.num_cores, config.core.vector_length_bits);
+  return simulate_multicore(config, program, options);
+}
+
+}  // namespace adse::sim

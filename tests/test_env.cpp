@@ -17,7 +17,8 @@ class EnvTest : public ::testing::Test {
                              "ADSE_SEED", "ADSE_CACHE_DIR", "ADSE_LOG_LEVEL",
                              "ADSE_TRACE_FILE", "ADSE_BATCH_K",
                              "ADSE_FUSED_THRESHOLD", "ADSE_FUSED_PROBE_EVERY",
-                             "ADSE_SERVE_SOCKET", "ADSE_SERVE_WORKERS"}) {
+                             "ADSE_SERVE_SOCKET", "ADSE_SERVE_WORKERS",
+                             "ADSE_CORES"}) {
       unsetenv(name);
     }
   }
@@ -109,6 +110,20 @@ TEST_F(EnvTest, ServeKnobs) {
   EXPECT_EQ(serve_workers(), 6);
   setenv("ADSE_SERVE_WORKERS", "-1", 1);
   EXPECT_THROW(serve_workers(), InvariantError);
+}
+
+TEST_F(EnvTest, MulticoreCoresKnob) {
+  EXPECT_EQ(mc_cores(), 8);  // default tile count
+  setenv("ADSE_CORES", "4", 1);
+  EXPECT_EQ(mc_cores(), 4);
+  setenv("ADSE_CORES", "16", 1);
+  EXPECT_EQ(mc_cores(), 16);
+  setenv("ADSE_CORES", "1", 1);  // multicore means >= 2
+  EXPECT_THROW(mc_cores(), InvariantError);
+  setenv("ADSE_CORES", "6", 1);  // power of two only
+  EXPECT_THROW(mc_cores(), InvariantError);
+  setenv("ADSE_CORES", "32", 1);  // sharer vector is 32 bits, cap at 16
+  EXPECT_THROW(mc_cores(), InvariantError);
 }
 
 TEST_F(EnvTest, TooSmallCampaignRejected) {

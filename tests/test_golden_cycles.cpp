@@ -24,9 +24,11 @@
 #include "common/rng.hpp"
 #include "config/baselines.hpp"
 #include "config/param_space.hpp"
+#include "kernels/threaded.hpp"
 #include "kernels/workloads.hpp"
 #include "sim/batch_sim.hpp"
 #include "sim/hardware_proxy.hpp"
+#include "sim/multicore.hpp"
 #include "sim/simulation.hpp"
 
 namespace adse {
@@ -136,6 +138,57 @@ TEST(GoldenCycles, HardwareProxyBaselineUnchanged) {
     const sim::RunResult result = sim::simulate_hardware_app(tx2, app);
     EXPECT_EQ(result.core.cycles, expected[static_cast<std::size_t>(app)])
         << kernels::app_name(app);
+  }
+}
+
+// ---- multicore pins --------------------------------------------------------
+//
+// The tiled MSI machine (sim::simulate_multicore) is equally deterministic:
+// same config + trace => bit-identical cycles. These rows pin both apps at
+// 2/4/8 cores under the full-map directory and a deliberately small (16
+// entries/slice) sparse directory, so any protocol or timing change — an
+// extra hop, a lost downgrade, a different eviction order — fails with the
+// exact offending point. The numbers encode the model's expected physics:
+// threaded STREAM scales with cores, ring-pass is communication-bound, and
+// sparse under-provisioning costs threaded STREAM real cycles (forced
+// directory evictions recall live lines) while the ring's tiny working set
+// fits either way.
+
+struct McGoldenRow {
+  const char* app_slug;
+  int cores;
+  config::DirectoryScheme scheme;
+  int entries;
+  std::uint64_t cycles;
+};
+
+constexpr McGoldenRow kMcGolden[] = {
+    {"ring_pass", 2, config::DirectoryScheme::kFullMap, 0, 4307ULL},
+    {"ring_pass", 2, config::DirectoryScheme::kSparse, 16, 4307ULL},
+    {"ring_pass", 4, config::DirectoryScheme::kFullMap, 0, 3617ULL},
+    {"ring_pass", 4, config::DirectoryScheme::kSparse, 16, 3617ULL},
+    {"ring_pass", 8, config::DirectoryScheme::kFullMap, 0, 9028ULL},
+    {"ring_pass", 8, config::DirectoryScheme::kSparse, 16, 9028ULL},
+    {"threaded_stream", 2, config::DirectoryScheme::kFullMap, 0, 238615ULL},
+    {"threaded_stream", 2, config::DirectoryScheme::kSparse, 16, 273150ULL},
+    {"threaded_stream", 4, config::DirectoryScheme::kFullMap, 0, 124617ULL},
+    {"threaded_stream", 4, config::DirectoryScheme::kSparse, 16, 163793ULL},
+    {"threaded_stream", 8, config::DirectoryScheme::kFullMap, 0, 52218ULL},
+    {"threaded_stream", 8, config::DirectoryScheme::kSparse, 16, 111342ULL},
+};
+
+TEST(GoldenCycles, MulticorePinsBitIdentical) {
+  for (const McGoldenRow& row : kMcGolden) {
+    config::CpuConfig cfg = config::thunderx2_baseline();
+    cfg.mc.num_cores = row.cores;
+    cfg.mc.directory_scheme = row.scheme;
+    cfg.mc.directory_entries = row.entries;
+    const sim::MulticoreResult result = sim::simulate_mc_app(
+        cfg, kernels::mc_app_from_slug(row.app_slug));
+    EXPECT_EQ(result.cycles, row.cycles)
+        << row.app_slug << " at " << row.cores << " cores ("
+        << config::directory_scheme_name(row.scheme) << ", " << row.entries
+        << " entries): tiled-model cycles diverged from the pinned run";
   }
 }
 

@@ -193,6 +193,93 @@ TEST(PowerEnergy, WiderVectorsCostMorePerLaneOp) {
                    1.0 + kVectorWiringFactor * 15.0);
 }
 
+// ---- multicore extensions --------------------------------------------------
+
+TEST(PowerMulticore, HandComputedDirectoryArea) {
+  // 4 tiles, full map: one entry per L2-slice line (256 KiB / 64 B = 4096),
+  // each entry 4 presence bits + the fixed overhead, one table per slice.
+  config::CpuConfig c;
+  c.mc.num_cores = 4;
+  EXPECT_EQ(coherence::resolved_directory_entries(c.mem, c.mc), 4096);
+  EXPECT_DOUBLE_EQ(directory_area_mm2(c),
+                   kDirectoryBitMm2 * (4.0 + kDirEntryOverheadBits) * 4096 * 4);
+
+  // Sparse with an explicit budget tracks far fewer lines.
+  c.mc.directory_scheme = config::DirectoryScheme::kSparse;
+  c.mc.directory_entries = 64;
+  EXPECT_DOUBLE_EQ(directory_area_mm2(c),
+                   kDirectoryBitMm2 * (4.0 + kDirEntryOverheadBits) * 64 * 4);
+
+  // Sparse auto-size: a quarter of the slice's lines.
+  c.mc.directory_entries = 0;
+  EXPECT_EQ(coherence::resolved_directory_entries(c.mem, c.mc), 1024);
+}
+
+TEST(PowerMulticore, MulticoreAreaIsTilesPlusDirectory) {
+  config::CpuConfig c;
+  c.mc.num_cores = 8;
+  EXPECT_DOUBLE_EQ(multicore_area_mm2(c),
+                   8.0 * area_mm2(c) + directory_area_mm2(c));
+  // A single tile with a degenerate (1-core) directory still exceeds the
+  // plain core by exactly the directory overhead.
+  c.mc.num_cores = 1;
+  EXPECT_DOUBLE_EQ(multicore_area_mm2(c),
+                   area_mm2(c) + directory_area_mm2(c));
+}
+
+TEST(PowerMulticore, HandComputedMulticoreEnergy) {
+  config::CpuConfig c;
+  c.mc.num_cores = 4;
+  coherence::CoherenceStats mem;
+  mem.l1_reads = 100;
+  mem.l1_writes = 40;
+  mem.l2_reads = 10;
+  mem.l2_writes = 6;
+  mem.ram_requests = 5;
+  mem.dirty_writebacks = 2;
+  mem.directory_lookups = 50;
+  mem.invalidations_sent = 3;
+  mem.invalidation_acks = 3;
+  mem.downgrades = 2;
+  mem.writebacks_owner = 1;
+  mem.l2_back_invalidations = 1;
+  mem.remote_requests = 4;
+  EXPECT_EQ(mem.network_messages(), 3u + 3u + 2u + 1u + 1u + 4u);
+
+  const PowerResult r = analyze_multicore(c, 1000, 500, mem);
+  const double rob_scale = std::sqrt(180.0 / 180.0);
+  double pj = (kFrontendOpPj + rob_scale * (kRobWritePj + kRobReadPj)) * 500;
+  pj += l1_read_energy_pj(c.mem) * (100 + kCacheWriteFactor * 40);
+  pj += l2_read_energy_pj(c.mem) * (10 + kCacheWriteFactor * 6);
+  pj += kRamPjPerByte * 64 * (5 + 2);
+  pj += kDirectoryLookupPj * 50;
+  pj += kCoherenceMsgPj * 14;
+  EXPECT_DOUBLE_EQ(r.dynamic_j, 1.0e-12 * pj);
+
+  const double seconds = 1000.0 / (config::kCoreClockGhz * 1.0e9);
+  EXPECT_DOUBLE_EQ(r.leakage_j,
+                   kLeakageWattsPerMm2 * multicore_area_mm2(c) * seconds);
+  EXPECT_DOUBLE_EQ(r.area_mm2, multicore_area_mm2(c));
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(PowerMulticore, CoherenceTrafficCostsEnergy) {
+  // Same retirement work, more protocol messages -> strictly more energy.
+  config::CpuConfig c;
+  c.mc.num_cores = 4;
+  coherence::CoherenceStats quiet;
+  quiet.l1_reads = 1000;
+  coherence::CoherenceStats noisy = quiet;
+  noisy.invalidations_sent = 200;
+  noisy.invalidation_acks = 200;
+  noisy.directory_lookups = 300;
+  const PowerResult a = analyze_multicore(c, 1000, 500, quiet);
+  const PowerResult b = analyze_multicore(c, 1000, 500, noisy);
+  EXPECT_GT(b.dynamic_j, a.dynamic_j);
+  EXPECT_DOUBLE_EQ(b.dynamic_j - a.dynamic_j,
+                   1.0e-12 * (kCoherenceMsgPj * 400 + kDirectoryLookupPj * 300));
+}
+
 TEST(PowerResultStruct, NanUntilComputedAndEnergySums) {
   PowerResult r;
   EXPECT_FALSE(r.valid());
